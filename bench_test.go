@@ -1,0 +1,336 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (the experiment index in DESIGN.md §4). Each
+// benchmark regenerates its artifact through the same driver used by
+// cmd/ftspm-bench and asserts the headline shape the paper reports, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the reproduction and re-checks every claim.
+package ftspm_test
+
+import (
+	"testing"
+
+	"ftspm"
+	"ftspm/internal/experiments"
+)
+
+// benchOpts trades trace length for wall-clock time; the shapes asserted
+// below hold from scale ~0.05 upward.
+var benchOpts = experiments.Options{Scale: 0.1}
+
+// sweepCache shares the expensive 12x3 sweep across benchmarks within
+// one run.
+var sweepCache *experiments.Sweep
+
+func sweep(b *testing.B) *experiments.Sweep {
+	b.Helper()
+	if sweepCache == nil {
+		sw, err := experiments.RunSweep(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweepCache = sw
+	}
+	return sweepCache
+}
+
+func BenchmarkTableI_CaseStudyProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TableI(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 8 {
+			b.Fatalf("Table I rows = %d, want the 8 case-study blocks", len(t.Rows))
+		}
+	}
+}
+
+func BenchmarkTableII_CaseStudyMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TableII(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 8 {
+			b.Fatalf("Table II rows = %d", len(t.Rows))
+		}
+	}
+}
+
+func BenchmarkTableIII_Endurance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.TableIII(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Improvement() < 100 {
+			b.Fatalf("endurance improvement %.0fx, want orders of magnitude", res.Improvement())
+		}
+	}
+}
+
+func BenchmarkTableIV_Configurations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) < 7 {
+			b.Fatal("Table IV incomplete")
+		}
+	}
+}
+
+func BenchmarkFig2_CaseStudyDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig2(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 3 {
+			b.Fatal("Fig. 2 must report all three regions")
+		}
+	}
+}
+
+func BenchmarkCaseStudy_Scalars(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs, err := experiments.CaseStudy(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cs.ReliabilityFTSPM <= cs.ReliabilityBaseline {
+			b.Fatal("FTSPM must beat the baseline reliability")
+		}
+	}
+}
+
+func BenchmarkFig3_EnergyPerAccess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_SuiteDistribution(b *testing.B) {
+	sw := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig4(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) < 12 {
+			b.Fatal("Fig. 4 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig5_Vulnerability(b *testing.B) {
+	sw := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sum, err := experiments.Fig5(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.GeoMeanRatio < 4 {
+			b.Fatalf("vulnerability improvement %.1fx, want ~7x", sum.GeoMeanRatio)
+		}
+	}
+}
+
+func BenchmarkFig6_StaticEnergy(b *testing.B) {
+	sw := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, vsSRAM, _, err := experiments.Fig6(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if vsSRAM > 0.7 {
+			b.Fatalf("static FTSPM/SRAM = %.2f, want ~0.45-0.55", vsSRAM)
+		}
+	}
+}
+
+func BenchmarkFig7_DynamicEnergy(b *testing.B) {
+	sw := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, vsSRAM, vsSTT, err := experiments.Fig7(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if vsSRAM > 0.65 || vsSTT > 0.6 {
+			b.Fatalf("dynamic ratios %.2f/%.2f out of shape", vsSRAM, vsSTT)
+		}
+	}
+}
+
+func BenchmarkFig8_Endurance(b *testing.B) {
+	sw := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sum, err := experiments.Fig8(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.GeoMeanRatio < 10 {
+			b.Fatalf("endurance improvement %.0fx, want >> 1", sum.GeoMeanRatio)
+		}
+	}
+}
+
+func BenchmarkPerf_Overhead(b *testing.B) {
+	sw := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ratio, err := experiments.PerfOverhead(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ratio > 1.02 {
+			b.Fatalf("FTSPM/SRAM cycles = %.3f, want <= ~1", ratio)
+		}
+	}
+}
+
+// BenchmarkPipeline_SingleRun times the full single-workload pipeline —
+// profile, MDA, simulate, AVF, endurance — the unit everything above is
+// built from.
+func BenchmarkPipeline_SingleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := ftspm.Evaluate("sha", ftspm.FTSPM, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Sim.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// Ablation benches: design-choice studies beyond the paper's own
+// evaluation (DESIGN.md §4 extensions).
+
+func BenchmarkAblation_ScheduledVsOnDemand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.AblationSchedule("casestudy", benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.ScheduledTransferCycles > c.OnDemandTransferCycles {
+			b.Fatal("static schedule lost to on-demand LRU")
+		}
+	}
+}
+
+func BenchmarkAblation_RegionSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, _, err := experiments.AblationRegionSplit(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 5 {
+			b.Fatal("incomplete split sweep")
+		}
+	}
+}
+
+func BenchmarkAblation_Priorities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPriorities("basicmath", benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_WriteThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationWriteThreshold(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Interleaving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, _, err := experiments.AblationInterleaving(20000, 2013)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points[2].DRE <= points[1].DRE {
+			b.Fatal("interleaving did not improve correction rate")
+		}
+	}
+}
+
+func BenchmarkAblation_Scrubbing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationScrubbing(2000, 2013); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_RelatedWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.RelatedWork(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("incomplete related-work comparison")
+		}
+	}
+}
+
+func BenchmarkAblation_Retention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationRetention("sha", benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Granularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, _, err := experiments.AblationGranularity("matmul", benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points[1].UnmappedBytes != 0 {
+			b.Fatal("refinement left unmapped bytes")
+		}
+	}
+}
+
+func BenchmarkValidation_LiveInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.ValidateAVF("casestudy", 0.05, 2013, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Structure == ftspm.PureSTT && r.ConsumedErrors() != 0 {
+				b.Fatal("immune structure consumed errors")
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_TechNode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, _, err := experiments.AblationTechNode("casestudy", benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 4 {
+			b.Fatal("incomplete node sweep")
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Command ftspm-bench regenerates every table and figure of the paper's
+// evaluation (the experiment index in DESIGN.md §4), printing the results
+// and optionally writing text + CSV files into a results directory.
+//
+// Usage:
+//
+//	ftspm-bench [-scale 0.25] [-out results]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ftspm/internal/experiments"
+	"ftspm/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftspm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftspm-bench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.25, "trace length relative to the reference")
+	outDir := fs.String("out", "", "directory for .txt/.csv result files (empty: stdout only)")
+	ablations := fs.Bool("ablations", false, "also run the design-choice ablation studies")
+	jsonPath := fs.String("json", "", "also write a machine-readable sweep summary to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Scale: *scale}
+
+	emit := func(name string, t *report.Table) error {
+		if err := t.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if *outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		txt, err := os.Create(filepath.Join(*outDir, name+".txt"))
+		if err != nil {
+			return err
+		}
+		defer txt.Close()
+		if err := t.Render(txt); err != nil {
+			return err
+		}
+		csvf, err := os.Create(filepath.Join(*outDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer csvf.Close()
+		return t.RenderCSV(csvf)
+	}
+
+	// Configuration and technology tables need no simulation.
+	t4, err := experiments.TableIV()
+	if err != nil {
+		return err
+	}
+	if err := emit("table4_configurations", t4); err != nil {
+		return err
+	}
+	f3, err := experiments.Fig3()
+	if err != nil {
+		return err
+	}
+	if err := emit("fig3_energy_per_access", f3); err != nil {
+		return err
+	}
+
+	// Case-study experiments (Section IV).
+	t1, err := experiments.TableI(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("table1_case_study_profile", t1); err != nil {
+		return err
+	}
+	t2, err := experiments.TableII(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("table2_case_study_mapping", t2); err != nil {
+		return err
+	}
+	f2, err := experiments.Fig2(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig2_case_study_distribution", f2); err != nil {
+		return err
+	}
+	cs, err := experiments.CaseStudy(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Section IV scalars: reliability %s vs %s baseline; dynamic %s of baseline; static %s of baseline; perf overhead %s\n\n",
+		report.Pct(cs.ReliabilityFTSPM), report.Pct(cs.ReliabilityBaseline),
+		report.Pct(cs.DynamicVsSRAM), report.Pct(cs.StaticVsSRAM),
+		report.Pct(cs.PerfOverheadVsSRAM))
+
+	_, t3, err := experiments.TableIII(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("table3_endurance", t3); err != nil {
+		return err
+	}
+
+	// Full-suite sweep (Section V figures).
+	fmt.Fprintln(out, "running the 12-workload x 3-structure sweep ...")
+	sw, err := experiments.RunSweep(opts)
+	if err != nil {
+		return err
+	}
+	f4, err := experiments.Fig4(sw)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig4_suite_distribution", f4); err != nil {
+		return err
+	}
+	f5, sum5, err := experiments.Fig5(sw)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig5_vulnerability", f5); err != nil {
+		return err
+	}
+	f6, statSRAM, statSTT, err := experiments.Fig6(sw)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig6_static_energy", f6); err != nil {
+		return err
+	}
+	f7, dynSRAM, dynSTT, err := experiments.Fig7(sw)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig7_dynamic_energy", f7); err != nil {
+		return err
+	}
+	f8, sum8, err := experiments.Fig8(sw)
+	if err != nil {
+		return err
+	}
+	if err := emit("fig8_endurance", f8); err != nil {
+		return err
+	}
+	fp, perfRatio, err := experiments.PerfOverhead(sw)
+	if err != nil {
+		return err
+	}
+	if err := emit("perf_overhead", fp); err != nil {
+		return err
+	}
+
+	if *jsonPath != "" {
+		summary, err := experiments.Summarize(sw)
+		if err != nil {
+			return err
+		}
+		jf, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		if err := summary.WriteJSON(jf); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote JSON summary to %s\n", *jsonPath)
+	}
+
+	if *ablations {
+		fmt.Fprintln(out, "running ablation studies ...")
+		at, err := experiments.AblationScheduleTable(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_schedule", at); err != nil {
+			return err
+		}
+		_, rt, err := experiments.AblationRegionSplit(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_region_split", rt); err != nil {
+			return err
+		}
+		pt, err := experiments.AblationPriorities("basicmath", opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_priorities", pt); err != nil {
+			return err
+		}
+		_, wt, err := experiments.AblationWriteThreshold(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_write_threshold", wt); err != nil {
+			return err
+		}
+		_, it, err := experiments.AblationInterleaving(50000, 2013)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_interleaving", it); err != nil {
+			return err
+		}
+		_, st, err := experiments.AblationScrubbing(3000, 2013)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_scrubbing", st); err != nil {
+			return err
+		}
+		_, rw, err := experiments.RelatedWork(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("related_work", rw); err != nil {
+			return err
+		}
+		_, ret, err := experiments.AblationRetention("sha", opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_retention", ret); err != nil {
+			return err
+		}
+		for _, wl := range []string{"casestudy", "matmul"} {
+			_, gt, err := experiments.AblationGranularity(wl, opts)
+			if err != nil {
+				return err
+			}
+			if err := emit("ablation_granularity_"+wl, gt); err != nil {
+				return err
+			}
+		}
+		_, vt, err := experiments.ValidateAVF("casestudy", 0.05, 2013, opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("validation_live_injection", vt); err != nil {
+			return err
+		}
+		_, nt, err := experiments.AblationTechNode("casestudy", opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_tech_node", nt); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintln(out, "Headline results (paper targets in parentheses):")
+	fmt.Fprintf(out, "  vulnerability improvement: %.1fx geo-mean (paper ~7x)\n", sum5.GeoMeanRatio)
+	fmt.Fprintf(out, "  dynamic energy: %.0f%% below pure SRAM (47%%), %.0f%% below pure STT-RAM (77%%)\n",
+		(1-dynSRAM)*100, (1-dynSTT)*100)
+	fmt.Fprintf(out, "  static energy: %.0f%% below pure SRAM (45-55%%); pure STT-RAM lowest (FTSPM/STT %.2f)\n",
+		(1-statSRAM)*100, statSTT)
+	fmt.Fprintf(out, "  endurance improvement: %.0fx geo-mean (paper ~3 orders of magnitude)\n", sum8.GeoMeanRatio)
+	fmt.Fprintf(out, "  performance overhead vs pure SRAM: %.1f%% (paper <1%%)\n", (perfRatio-1)*100)
+	return nil
+}

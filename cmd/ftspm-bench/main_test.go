@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBenchEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III", "Table IV",
+		"Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8",
+		"Headline results",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in bench output", want)
+		}
+	}
+	// Every artifact lands as .txt and .csv.
+	for _, name := range []string{
+		"table1_case_study_profile", "table2_case_study_mapping",
+		"table3_endurance", "table4_configurations",
+		"fig2_case_study_distribution", "fig3_energy_per_access",
+		"fig4_suite_distribution", "fig5_vulnerability",
+		"fig6_static_energy", "fig7_dynamic_energy", "fig8_endurance",
+		"perf_overhead",
+	} {
+		for _, ext := range []string{".txt", ".csv"} {
+			if _, err := os.Stat(filepath.Join(dir, name+ext)); err != nil {
+				t.Errorf("missing artifact %s%s: %v", name, ext, err)
+			}
+		}
+	}
+}
+
+func TestRunBenchBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunBenchAblationsAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation suite is slow")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "summary.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-ablations", "-out", dir, "-json", jsonPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"ablation_schedule", "ablation_region_split", "ablation_priorities",
+		"ablation_write_threshold", "ablation_interleaving", "ablation_scrubbing",
+		"related_work", "ablation_retention",
+		"ablation_granularity_casestudy", "ablation_granularity_matmul",
+		"validation_live_injection", "ablation_tech_node",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name+".txt")); err != nil {
+			t.Errorf("missing ablation artifact %s: %v", name, err)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "vulnerability_improvement") {
+		t.Error("JSON summary missing headline field")
+	}
+}

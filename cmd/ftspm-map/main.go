@@ -1,0 +1,116 @@
+// Command ftspm-map runs the Mapping Determiner Algorithm (Algorithm 1)
+// on a workload's profile and prints the resulting placement — the
+// Table II view — together with the budget estimates.
+//
+// Usage:
+//
+//	ftspm-map [-workload casestudy] [-structure ftspm] [-priority reliability]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ftspm/internal/core"
+	"ftspm/internal/profile"
+	"ftspm/internal/report"
+	"ftspm/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftspm-map:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStructure(s string) (core.Structure, error) {
+	switch strings.ToLower(s) {
+	case "ftspm":
+		return core.StructFTSPM, nil
+	case "sram", "pure-sram":
+		return core.StructPureSRAM, nil
+	case "stt", "stt-ram", "pure-stt":
+		return core.StructPureSTT, nil
+	default:
+		return 0, fmt.Errorf("unknown structure %q (ftspm, sram, stt)", s)
+	}
+}
+
+func parsePriority(s string) (core.Priority, error) {
+	switch strings.ToLower(s) {
+	case "reliability":
+		return core.PriorityReliability, nil
+	case "performance":
+		return core.PriorityPerformance, nil
+	case "power":
+		return core.PriorityPower, nil
+	case "endurance":
+		return core.PriorityEndurance, nil
+	default:
+		return 0, fmt.Errorf("unknown priority %q (reliability, performance, power, endurance)", s)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftspm-map", flag.ContinueOnError)
+	workload := fs.String("workload", workloads.CaseStudyName, "workload name")
+	structure := fs.String("structure", "ftspm", "SPM structure: ftspm, sram, or stt")
+	priority := fs.String("priority", "reliability",
+		"MDA optimization priority: reliability, performance, power, or endurance")
+	scale := fs.Float64("scale", 0.25, "trace length relative to the reference")
+	asCSV := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s, err := parseStructure(*structure)
+	if err != nil {
+		return err
+	}
+	prio, err := parsePriority(*priority)
+	if err != nil {
+		return err
+	}
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		return err
+	}
+	prof, err := profile.Run(w.Program(), w.Trace(*scale))
+	if err != nil {
+		return err
+	}
+	spec, err := core.NewSpec(s)
+	if err != nil {
+		return err
+	}
+	m, err := core.MapBlocks(prof, spec, core.DefaultThresholds(), prio)
+	if err != nil {
+		return err
+	}
+
+	t := report.New(
+		fmt.Sprintf("MDA placement: %s on %v (priority %v)", w.Name, s, prio),
+		"Block", "Mapped", "Region", "Susceptibility", "Reason")
+	for _, d := range m.Decisions {
+		mapped, region := "No", "-"
+		if d.Mapped {
+			mapped, region = "Yes", d.Target.String()
+		}
+		t.AddRow(d.Block.Name, mapped, region,
+			report.Float(prof.Blocks[d.Block.ID].Susceptibility(), 0), d.Reason)
+	}
+	if *asCSV {
+		return t.RenderCSV(out)
+	}
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out,
+		"\nestimated perf overhead %.2f%%, energy overhead %.2f%%, write threshold %.0f words\n",
+		m.EstPerfOverhead*100, m.EstEnergyOverhead*100, m.WriteThresholdWords)
+	return err
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftspm/internal/core"
+)
+
+func TestParseStructure(t *testing.T) {
+	tests := map[string]core.Structure{
+		"ftspm": core.StructFTSPM, "FTSPM": core.StructFTSPM,
+		"sram": core.StructPureSRAM, "pure-sram": core.StructPureSRAM,
+		"stt": core.StructPureSTT, "stt-ram": core.StructPureSTT, "pure-stt": core.StructPureSTT,
+	}
+	for in, want := range tests {
+		got, err := parseStructure(in)
+		if err != nil || got != want {
+			t.Errorf("parseStructure(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseStructure("dram"); err == nil {
+		t.Error("bad structure accepted")
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	tests := map[string]core.Priority{
+		"reliability": core.PriorityReliability,
+		"performance": core.PriorityPerformance,
+		"power":       core.PriorityPower,
+		"Endurance":   core.PriorityEndurance,
+	}
+	for in, want := range tests {
+		got, err := parsePriority(in)
+		if err != nil || got != want {
+			t.Errorf("parsePriority(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePriority("speed"); err == nil {
+		t.Error("bad priority accepted")
+	}
+}
+
+func TestRunMapTableII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "casestudy", "-scale", "0.1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Array1", "SRAM(ECC)", "SRAM(parity)", "write threshold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunMapCSVAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "sha", "-scale", "0.05", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "Block,") {
+		t.Error("csv header missing")
+	}
+	if err := run([]string{"-structure", "bogus"}, &buf); err == nil {
+		t.Error("bad structure accepted")
+	}
+	if err := run([]string{"-priority", "bogus"}, &buf); err == nil {
+		t.Error("bad priority accepted")
+	}
+	if err := run([]string{"-workload", "bogus"}, &buf); err == nil {
+		t.Error("bad workload accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Command ftspm-profile profiles a workload and prints its block-level
+// profile — the Table I columns — optionally as CSV.
+//
+// Usage:
+//
+//	ftspm-profile [-workload casestudy] [-scale 0.25] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ftspm/internal/profile"
+	"ftspm/internal/report"
+	"ftspm/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftspm-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftspm-profile", flag.ContinueOnError)
+	workload := fs.String("workload", workloads.CaseStudyName,
+		"workload name (casestudy or a suite program; see -list)")
+	scale := fs.Float64("scale", 0.25, "trace length relative to the reference")
+	asCSV := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	list := fs.Bool("list", false, "list available workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintf(out, "%-14s %s\n", workloads.CaseStudyName, "Section IV motivational example")
+		for _, w := range workloads.Suite() {
+			fmt.Fprintf(out, "%-14s %s\n", w.Name, w.Description)
+		}
+		return nil
+	}
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		return err
+	}
+	prof, err := profile.Run(w.Program(), w.Trace(*scale))
+	if err != nil {
+		return err
+	}
+
+	t := report.New(
+		fmt.Sprintf("Profile of %s (scale %.2f, %d cycles)", w.Name, *scale, prof.ExecCycles),
+		"Block", "Kind", "Size (B)", "Reads", "Writes", "Refs",
+		"Avg r/ref", "Avg w/ref", "Stack calls", "Max stack", "Life-time", "Span")
+	for _, bp := range prof.Blocks {
+		t.AddRow(
+			bp.Block.Name,
+			bp.Block.Kind.String(),
+			report.Count(bp.Block.Size),
+			report.Count(bp.Reads),
+			report.Count(bp.Writes),
+			report.Count(bp.References),
+			report.Float(bp.AvgReadsPerRef(), 1),
+			report.Float(bp.AvgWritesPerRef(), 1),
+			report.Count(bp.StackCalls),
+			report.Count(bp.MaxStackBytes),
+			report.Count(int(bp.Lifetime)),
+			report.Count(int(bp.Span())),
+		)
+	}
+	if *asCSV {
+		return t.RenderCSV(out)
+	}
+	return t.Render(out)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunProfileTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "crc32", "-scale", "0.05"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Profile of crc32", "Data", "CrcTab", "Stack", "Life-time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunProfileCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "crc32", "-scale", "0.05", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasPrefix(first, "Block,Kind,") {
+		t.Errorf("csv header = %q", first)
+	}
+}
+
+func TestRunProfileList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "casestudy") || !strings.Contains(buf.String(), "qsort") {
+		t.Error("list missing workloads")
+	}
+}
+
+func TestRunProfileErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "nope"}, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

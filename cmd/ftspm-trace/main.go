@@ -1,0 +1,87 @@
+// Command ftspm-trace records a workload's memory-access trace to the
+// line-oriented text format (for inspection or archival) and replays
+// recorded traces back through the profiler — the record/replay path of
+// the trace substrate.
+//
+// Usage:
+//
+//	ftspm-trace -workload sha -scale 0.1 -o sha.trace     # record
+//	ftspm-trace -workload sha -replay sha.trace           # replay+profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ftspm/internal/profile"
+	"ftspm/internal/report"
+	"ftspm/internal/trace"
+	"ftspm/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftspm-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftspm-trace", flag.ContinueOnError)
+	workload := fs.String("workload", workloads.CaseStudyName, "workload name")
+	scale := fs.Float64("scale", 0.1, "trace length relative to the reference (record mode)")
+	outPath := fs.String("o", "", "record the trace to this file ('-' or empty: stdout)")
+	replay := fs.String("replay", "", "replay a recorded trace file through the profiler")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		return err
+	}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r := trace.NewReader(f)
+		prof, err := profile.Run(w.Program(), r)
+		if err != nil {
+			return err
+		}
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		t := report.New(
+			fmt.Sprintf("Replayed profile of %s from %s (%d cycles)", w.Name, *replay, prof.ExecCycles),
+			"Block", "Reads", "Writes", "Refs", "Life-time")
+		for _, bp := range prof.Blocks {
+			t.AddRow(bp.Block.Name, report.Count(bp.Reads), report.Count(bp.Writes),
+				report.Count(bp.References), report.Count(int(bp.Lifetime)))
+		}
+		return t.Render(out)
+	}
+
+	var sink io.Writer = out
+	if *outPath != "" && *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = f
+	}
+	stream := w.Trace(*scale)
+	if err := trace.WriteAll(sink, stream); err != nil {
+		return err
+	}
+	if *outPath != "" && *outPath != "-" {
+		fmt.Fprintf(out, "recorded %d events of %s (scale %.2f) to %s\n",
+			stream.Len(), w.Name, *scale, *outPath)
+	}
+	return nil
+}

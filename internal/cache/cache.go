@@ -1,0 +1,228 @@
+// Package cache models the L1 instruction/data caches of the evaluated
+// platform (Table IV: 8 KB unprotected SRAM, 1-cycle access). The caches
+// back the program blocks that the mapping algorithm leaves out of the
+// SPM (e.g. the case study's Main), so their hit/miss behaviour sets the
+// cost of not mapping a block.
+//
+// The model is a set-associative, write-back, write-allocate cache with
+// LRU replacement. It reports structural outcomes (hit, miss, dirty
+// eviction) and charges the cache-array access itself; the simulator
+// charges the off-chip traffic through the dram package.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"ftspm/internal/memtech"
+)
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total capacity (power of two).
+	SizeBytes int
+	// LineBytes is the line size (power of two).
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+	// Bank supplies the latency/energy of one array access.
+	Bank memtech.Bank
+}
+
+// DefaultL1 returns the Table IV 8 KB unprotected-SRAM L1 configuration.
+func DefaultL1() Config {
+	return Config{
+		SizeBytes: 8 * 1024,
+		LineBytes: 32,
+		Ways:      4,
+		Bank:      memtech.MustEstimateBank(memtech.SRAM, memtech.Unprotected, 8*1024),
+	}
+}
+
+// Errors returned by New.
+var (
+	ErrBadGeometry = errors.New("cache: size, line size, and ways must be positive powers-of-two factors")
+)
+
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses     uint64
+	Evictions        uint64
+	DirtyWritebacks  uint64
+	ReadAccesses     uint64
+	WriteAccesses    uint64
+	EnergyPicojoules memtech.Picojoules
+}
+
+// HitRate returns hits/(hits+misses), 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Result reports the structural outcome of one access.
+type Result struct {
+	// Hit is true when the line was present.
+	Hit bool
+	// Cycles charges the cache-array time (miss handling time is charged
+	// by the caller through the DRAM model).
+	Cycles memtech.Cycles
+	// Energy charges the cache-array energy.
+	Energy memtech.Picojoules
+	// FillWords is the number of words the caller must fetch from
+	// off-chip to fill the missed line (0 on hit).
+	FillWords int
+	// WritebackWords is the number of dirty words the caller must write
+	// back off-chip for the evicted line (0 if none).
+	WritebackWords int
+}
+
+// Cache is a set-associative write-back cache.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setShift uint
+	setMask  uint32
+	tick     uint64
+	stats    Stats
+}
+
+// New validates the configuration and returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadGeometry, cfg)
+	}
+	if cfg.SizeBytes%(cfg.LineBytes*cfg.Ways) != 0 {
+		return nil, fmt.Errorf("%w: size %d not divisible by line*ways", ErrBadGeometry, cfg.SizeBytes)
+	}
+	if bits.OnesCount(uint(cfg.LineBytes)) != 1 {
+		return nil, fmt.Errorf("%w: line size %d not a power of two", ErrBadGeometry, cfg.LineBytes)
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if bits.OnesCount(uint(nsets)) != 1 {
+		return nil, fmt.Errorf("%w: %d sets not a power of two", ErrBadGeometry, nsets)
+	}
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint32(nsets - 1),
+	}, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Access performs one read or write of size bytes at addr. Accesses that
+// straddle a line boundary are split internally; the returned Result
+// aggregates the pieces (Hit is true only if every piece hit).
+func (c *Cache) Access(addr uint32, size int, write bool) Result {
+	if size < 1 {
+		size = 1
+	}
+	var agg Result
+	agg.Hit = true
+	end := uint64(addr) + uint64(size)
+	for cur := uint64(addr); cur < end; {
+		lineEnd := (cur | uint64(c.cfg.LineBytes-1)) + 1
+		if lineEnd > end {
+			lineEnd = end
+		}
+		r := c.accessOne(uint32(cur), int(lineEnd-cur), write)
+		agg.Hit = agg.Hit && r.Hit
+		agg.Cycles += r.Cycles
+		agg.Energy += r.Energy
+		agg.FillWords += r.FillWords
+		agg.WritebackWords += r.WritebackWords
+		cur = lineEnd
+	}
+	return agg
+}
+
+func (c *Cache) accessOne(addr uint32, size int, write bool) Result {
+	c.tick++
+	if write {
+		c.stats.WriteAccesses++
+	} else {
+		c.stats.ReadAccesses++
+	}
+	setIdx := (addr >> c.setShift) & c.setMask
+	tag := addr >> c.setShift >> uint(bits.TrailingZeros(uint(len(c.sets))))
+	set := c.sets[setIdx]
+
+	res := Result{
+		Cycles: c.cfg.Bank.AccessLatency(size, write),
+		Energy: c.cfg.Bank.AccessEnergy(size, write),
+	}
+	c.stats.EnergyPicojoules += res.Energy
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			res.Hit = true
+			return res
+		}
+	}
+
+	// Miss: pick the LRU victim.
+	c.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evictions++
+		if set[victim].dirty {
+			c.stats.DirtyWritebacks++
+			res.WritebackWords = c.cfg.LineBytes / memtech.WordBytes
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	res.FillWords = c.cfg.LineBytes / memtech.WordBytes
+	return res
+}
+
+// Flush invalidates every line and returns the number of dirty words the
+// caller must write back.
+func (c *Cache) Flush() int {
+	dirtyWords := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.dirty {
+				dirtyWords += c.cfg.LineBytes / memtech.WordBytes
+				c.stats.DirtyWritebacks++
+			}
+			*l = line{}
+		}
+	}
+	return dirtyWords
+}

@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newL1(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	base := DefaultL1()
+	bad := []Config{
+		{},
+		{SizeBytes: 8192, LineBytes: 0, Ways: 4, Bank: base.Bank},
+		{SizeBytes: 8192, LineBytes: 48, Ways: 4, Bank: base.Bank},    // not pow2
+		{SizeBytes: 8190, LineBytes: 32, Ways: 4, Bank: base.Bank},    // not divisible
+		{SizeBytes: 96 * 32, LineBytes: 32, Ways: 1, Bank: base.Bank}, // 96 sets not pow2
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); !errors.Is(err, ErrBadGeometry) {
+			t.Errorf("config %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := newL1(t)
+	r := c.Access(0x1000, 4, false)
+	if r.Hit {
+		t.Error("cold access hit")
+	}
+	if r.FillWords != 8 {
+		t.Errorf("FillWords = %d, want 8 (32-byte line)", r.FillWords)
+	}
+	if r.Cycles != 1 {
+		t.Errorf("array latency = %d, want 1 (Table IV)", r.Cycles)
+	}
+	r = c.Access(0x1000, 4, false)
+	if !r.Hit || r.FillWords != 0 {
+		t.Errorf("warm access: %+v", r)
+	}
+	// Same line, different word.
+	if r = c.Access(0x101c, 4, false); !r.Hit {
+		t.Error("same-line access missed")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() < 0.66 || st.HitRate() > 0.67 {
+		t.Errorf("HitRate = %v", st.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate not 0")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	cfg := DefaultL1()
+	cfg.SizeBytes = 4 * 32 // 4 lines, 1 set at 4 ways
+	cfg.Ways = 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single set with 4 dirty lines.
+	for i := 0; i < 4; i++ {
+		r := c.Access(uint32(i*32), 4, true)
+		if r.Hit {
+			t.Fatal("unexpected hit")
+		}
+	}
+	// Fifth distinct line evicts the LRU (line 0), which is dirty.
+	r := c.Access(4*32, 4, false)
+	if r.Hit {
+		t.Fatal("unexpected hit")
+	}
+	if r.WritebackWords != 8 {
+		t.Errorf("WritebackWords = %d, want 8", r.WritebackWords)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.DirtyWritebacks != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Victim must be the least recently used: line 0 misses again.
+	if r := c.Access(0, 4, false); r.Hit {
+		t.Error("LRU line still present")
+	}
+}
+
+func TestLRUPromotion(t *testing.T) {
+	cfg := DefaultL1()
+	cfg.SizeBytes = 4 * 32
+	cfg.Ways = 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Access(uint32(i*32), 4, false)
+	}
+	c.Access(0, 4, false) // promote line 0
+	c.Access(4*32, 4, false)
+	// Victim should be line 1 (LRU after promotion), line 0 must hit.
+	if r := c.Access(0, 4, false); !r.Hit {
+		t.Error("promoted line evicted")
+	}
+	if r := c.Access(32, 4, false); r.Hit {
+		t.Error("expected line 1 to be the victim")
+	}
+}
+
+func TestLineStraddle(t *testing.T) {
+	c := newL1(t)
+	// 8 bytes starting 4 bytes before a line boundary touch two lines.
+	r := c.Access(0x101c, 8, false)
+	if r.Hit {
+		t.Error("cold straddle hit")
+	}
+	if r.FillWords != 16 {
+		t.Errorf("FillWords = %d, want 16 (two lines)", r.FillWords)
+	}
+	st := c.Stats()
+	if st.Misses != 2 {
+		t.Errorf("straddle counted %d misses, want 2", st.Misses)
+	}
+	// Partial hit (one line present) reports Hit=false overall.
+	c2 := newL1(t)
+	c2.Access(0x1000, 4, false)
+	r = c2.Access(0x101c, 8, false)
+	if r.Hit {
+		t.Error("partial presence reported as full hit")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := newL1(t)
+	c.Access(0x0, 4, true)
+	c.Access(0x4000, 4, false)
+	dirty := c.Flush()
+	if dirty != 8 {
+		t.Errorf("Flush returned %d dirty words, want 8", dirty)
+	}
+	if r := c.Access(0x0, 4, false); r.Hit {
+		t.Error("flushed line still present")
+	}
+}
+
+func TestZeroAndNegativeSize(t *testing.T) {
+	c := newL1(t)
+	r := c.Access(0x100, 0, false)
+	if r.FillWords != 8 {
+		t.Error("zero-size access not normalized to 1 byte")
+	}
+}
+
+func TestEnergyAccumulates(t *testing.T) {
+	c := newL1(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		c.Access(rng.Uint32()%0x8000, 4, rng.Intn(2) == 0)
+	}
+	if c.Stats().EnergyPicojoules <= 0 {
+		t.Error("no energy charged")
+	}
+	if c.Config().SizeBytes != 8*1024 {
+		t.Error("Config accessor wrong")
+	}
+}

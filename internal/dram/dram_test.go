@@ -1,0 +1,62 @@
+package dram
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{},
+		{FirstWordLatency: 60, PerWordLatency: 0, EnergyPerWord: 1},
+		{FirstWordLatency: 0, PerWordLatency: 2, EnergyPerWord: 1},
+		{FirstWordLatency: 60, PerWordLatency: 2, EnergyPerWord: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestBurstCosts(t *testing.T) {
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, e := m.Burst(1, false)
+	if cyc != 60 || e != 1200 {
+		t.Errorf("1-word burst = %d cycles / %v pJ", cyc, e)
+	}
+	cyc, e = m.Burst(8, true)
+	if cyc != 60+7*2 || e != 8*1200 {
+		t.Errorf("8-word burst = %d cycles / %v pJ", cyc, e)
+	}
+	cyc, e = m.Burst(0, false)
+	if cyc != 0 || e != 0 {
+		t.Error("empty burst charged")
+	}
+	st := m.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.WordsRead != 1 || st.WordsWritten != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Cycles != 60+74 || st.EnergyPicojoules != 9*1200 {
+		t.Errorf("accumulation wrong: %+v", st)
+	}
+	if m.Config().FirstWordLatency != 60 {
+		t.Error("Config accessor wrong")
+	}
+}
+
+func TestValueDeterministicAndMixed(t *testing.T) {
+	if Value(1) != Value(1) {
+		t.Error("Value not deterministic")
+	}
+	seen := map[uint32]bool{}
+	for i := uint32(0); i < 1000; i++ {
+		seen[Value(i)] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("Value poorly mixed: %d distinct of 1000", len(seen))
+	}
+}

@@ -1,0 +1,68 @@
+// Package ecc implements the error-coding substrate of FTSPM: a per-word
+// parity code and extended-Hamming SEC-DED (Single Error Correction,
+// Double Error Detection) codes, including the Hamming(39,32) and
+// Hamming(72,64) organizations. These are real bit-level codecs — encode,
+// syndrome decode, correction — so fault-injection campaigns can exercise
+// the same detection/correction behaviour the paper's protection circuits
+// provide, including the miscorrection of ≥3-bit upsets that drives the
+// paper's SDC probabilities (equations (4)–(7)).
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bits is a fixed-capacity little bit vector, wide enough for the largest
+// codeword in the package (Hamming(72,64) = 72 bits).
+type Bits struct {
+	w [2]uint64
+}
+
+// MaxBits is the capacity of a Bits value.
+const MaxBits = 128
+
+// BitsFromUint64 returns a Bits holding v in its low 64 positions.
+func BitsFromUint64(v uint64) Bits { return Bits{w: [2]uint64{v, 0}} }
+
+// Uint64 returns the low 64 bits.
+func (b Bits) Uint64() uint64 { return b.w[0] }
+
+// Get reports whether bit i is set.
+func (b Bits) Get(i int) bool {
+	return b.w[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set returns b with bit i set to v.
+func (b Bits) Set(i int, v bool) Bits {
+	if v {
+		b.w[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b.w[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	return b
+}
+
+// Flip returns b with bit i inverted.
+func (b Bits) Flip(i int) Bits {
+	b.w[i>>6] ^= 1 << (uint(i) & 63)
+	return b
+}
+
+// Xor returns the bitwise XOR of b and o.
+func (b Bits) Xor(o Bits) Bits {
+	b.w[0] ^= o.w[0]
+	b.w[1] ^= o.w[1]
+	return b
+}
+
+// OnesCount returns the number of set bits.
+func (b Bits) OnesCount() int {
+	return bits.OnesCount64(b.w[0]) + bits.OnesCount64(b.w[1])
+}
+
+// IsZero reports whether no bit is set.
+func (b Bits) IsZero() bool { return b.w[0] == 0 && b.w[1] == 0 }
+
+// String implements fmt.Stringer (hex, high word first).
+func (b Bits) String() string { return fmt.Sprintf("%016x%016x", b.w[1], b.w[0]) }

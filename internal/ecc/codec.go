@@ -1,0 +1,326 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status classifies the outcome of decoding one codeword, matching the
+// error taxonomy of Section IV: DRE (detected & recovered), DUE (detected
+// unrecoverable), and — when a multi-bit upset aliases to a clean or
+// correctable syndrome — silent data corruption, which a decoder cannot
+// observe and therefore reports as Clean or Corrected with wrong data.
+type Status int
+
+// Decode outcomes.
+const (
+	// Clean: the codeword is consistent; no error observed.
+	Clean Status = iota + 1
+	// Corrected: a single-bit error was detected and repaired (DRE).
+	Corrected
+	// Detected: an uncorrectable error was detected (DUE).
+	Detected
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Clean:
+		return "clean"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Codec encodes fixed-width data words into codewords and decodes
+// possibly-corrupted codewords back.
+type Codec interface {
+	// Name identifies the code, e.g. "parity(33,32)" or "hamming(39,32)".
+	Name() string
+	// DataBits is the number of payload bits per word.
+	DataBits() int
+	// CodeBits is the total stored bits per word, payload included.
+	CodeBits() int
+	// Encode maps a data word (low DataBits of the argument) to its
+	// codeword.
+	Encode(data Bits) Bits
+	// Decode maps a codeword back to its data word, correcting what the
+	// code can correct and classifying the outcome. The returned data is
+	// meaningful for Clean and Corrected; for Detected it is the
+	// best-effort extraction of the payload bits.
+	Decode(code Bits) (Bits, Status)
+}
+
+// ErrBadDataBits is returned for unsupported payload widths.
+var ErrBadDataBits = errors.New("ecc: unsupported number of data bits")
+
+// ParityCodec is a single even-parity bit over k data bits: detects any
+// odd number of bit flips, corrects nothing. This is protection level (2)
+// of Table IV.
+type ParityCodec struct {
+	k int
+}
+
+var _ Codec = (*ParityCodec)(nil)
+
+// NewParity returns a parity codec over k data bits (1 ≤ k ≤ 64).
+func NewParity(k int) (*ParityCodec, error) {
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("%w: %d", ErrBadDataBits, k)
+	}
+	return &ParityCodec{k: k}, nil
+}
+
+// Name implements Codec.
+func (c *ParityCodec) Name() string { return fmt.Sprintf("parity(%d,%d)", c.k+1, c.k) }
+
+// DataBits implements Codec.
+func (c *ParityCodec) DataBits() int { return c.k }
+
+// CodeBits implements Codec.
+func (c *ParityCodec) CodeBits() int { return c.k + 1 }
+
+// Encode implements Codec: the parity bit is stored at position k.
+func (c *ParityCodec) Encode(data Bits) Bits {
+	code := c.maskData(data)
+	return code.Set(c.k, code.OnesCount()%2 == 1)
+}
+
+// Decode implements Codec.
+func (c *ParityCodec) Decode(code Bits) (Bits, Status) {
+	data := c.maskData(code)
+	if code.OnesCount()%2 != 0 {
+		return data, Detected
+	}
+	return data, Clean
+}
+
+func (c *ParityCodec) maskData(b Bits) Bits {
+	var out Bits
+	for i := 0; i < c.k; i++ {
+		if b.Get(i) {
+			out = out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// HammingCodec is an extended Hamming SEC-DED code over k data bits:
+// r check bits at power-of-two positions plus one overall parity bit.
+// k=32 yields the (39,32) organization, k=64 the (72,64) organization
+// referenced by the paper's SEC-DED regions (Table IV protection (3)).
+type HammingCodec struct {
+	k       int   // data bits
+	r       int   // Hamming check bits
+	n       int   // inner code length = k + r (positions 1..n)
+	dataPos []int // 1-based inner positions holding data bits, len k
+}
+
+var _ Codec = (*HammingCodec)(nil)
+
+// NewHamming returns an extended Hamming SEC-DED codec over k data bits.
+// Supported widths are 8, 16, 32, and 64.
+func NewHamming(k int) (*HammingCodec, error) {
+	switch k {
+	case 8, 16, 32, 64:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadDataBits, k)
+	}
+	r := 0
+	for (1 << r) < k+r+1 {
+		r++
+	}
+	c := &HammingCodec{k: k, r: r, n: k + r}
+	for pos := 1; pos <= c.n; pos++ {
+		if pos&(pos-1) != 0 { // not a power of two → data position
+			c.dataPos = append(c.dataPos, pos)
+		}
+	}
+	return c, nil
+}
+
+// MustHamming is NewHamming for statically-valid widths; it panics on
+// error and exists for package-level configuration in this module.
+func MustHamming(k int) *HammingCodec {
+	c, err := NewHamming(k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements Codec.
+func (c *HammingCodec) Name() string { return fmt.Sprintf("hamming(%d,%d)", c.n+1, c.k) }
+
+// DataBits implements Codec.
+func (c *HammingCodec) DataBits() int { return c.k }
+
+// CodeBits implements Codec: inner code plus the overall parity bit.
+func (c *HammingCodec) CodeBits() int { return c.n + 1 }
+
+// Codeword layout in the returned Bits: bit 0 holds the overall parity,
+// bits 1..n hold the inner Hamming codeword at their natural positions.
+
+// Encode implements Codec.
+func (c *HammingCodec) Encode(data Bits) Bits {
+	var code Bits
+	for i, pos := range c.dataPos {
+		if data.Get(i) {
+			code = code.Set(pos, true)
+		}
+	}
+	// Check bit at position 2^j makes the parity over {pos: pos has bit
+	// j set} even.
+	for j := 0; j < c.r; j++ {
+		parity := false
+		for pos := 1; pos <= c.n; pos++ {
+			if pos&(1<<j) != 0 && code.Get(pos) {
+				parity = !parity
+			}
+		}
+		if parity {
+			code = code.Set(1<<j, true)
+		}
+	}
+	// Overall parity over positions 1..n stored at position 0.
+	if code.OnesCount()%2 == 1 {
+		code = code.Set(0, true)
+	}
+	return code
+}
+
+// Decode implements Codec.
+func (c *HammingCodec) Decode(code Bits) (Bits, Status) {
+	syndrome := 0
+	for pos := 1; pos <= c.n; pos++ {
+		if code.Get(pos) {
+			syndrome ^= pos
+		}
+	}
+	overall := code.OnesCount()%2 != 0 // parity of ALL stored bits
+
+	switch {
+	case syndrome == 0 && !overall:
+		return c.extract(code), Clean
+	case overall:
+		// Odd number of flips → assume single and correct it. A
+		// syndrome of 0 means the overall parity bit itself flipped.
+		if syndrome == 0 {
+			return c.extract(code), Corrected
+		}
+		if syndrome <= c.n {
+			return c.extract(code.Flip(syndrome)), Corrected
+		}
+		// Syndrome points outside the code: ≥3 flips detected.
+		return c.extract(code), Detected
+	default:
+		// Even number of flips with a nonzero syndrome → DUE.
+		return c.extract(code), Detected
+	}
+}
+
+func (c *HammingCodec) extract(code Bits) Bits {
+	var data Bits
+	for i, pos := range c.dataPos {
+		if code.Get(pos) {
+			data = data.Set(i, true)
+		}
+	}
+	return data
+}
+
+// RawCodec stores data words unmodified: protection level (1) of Table IV
+// (unprotected SRAM) and the representation used for STT-RAM regions,
+// whose cells are inherently immune (level (4)).
+type RawCodec struct {
+	k int
+}
+
+var _ Codec = (*RawCodec)(nil)
+
+// NewRaw returns a pass-through codec over k data bits (1 ≤ k ≤ 64).
+func NewRaw(k int) (*RawCodec, error) {
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("%w: %d", ErrBadDataBits, k)
+	}
+	return &RawCodec{k: k}, nil
+}
+
+// Name implements Codec.
+func (c *RawCodec) Name() string { return fmt.Sprintf("raw(%d)", c.k) }
+
+// DataBits implements Codec.
+func (c *RawCodec) DataBits() int { return c.k }
+
+// CodeBits implements Codec.
+func (c *RawCodec) CodeBits() int { return c.k }
+
+// Encode implements Codec.
+func (c *RawCodec) Encode(data Bits) Bits { return data }
+
+// Decode implements Codec: a raw word can never observe an error.
+func (c *RawCodec) Decode(code Bits) (Bits, Status) { return code, Clean }
+
+// DMRCodec stores every data word twice (dual modular redundancy) — the
+// duplication-based SPM protection of the paper's related work [3].
+// Reads compare the copies: a mismatch is detected but not correctable
+// (with two copies there is no majority), so duplication converts
+// almost every upset into a DUE at the cost of doubling the storage and
+// the write traffic. Silent corruption requires the same flips in both
+// copies, which independent strikes essentially never produce.
+type DMRCodec struct {
+	k int
+}
+
+var _ Codec = (*DMRCodec)(nil)
+
+// NewDMR returns a duplication codec over k data bits (1 ≤ k ≤ 32: the
+// codeword holds two copies).
+func NewDMR(k int) (*DMRCodec, error) {
+	if k < 1 || k > 32 {
+		return nil, fmt.Errorf("%w: %d", ErrBadDataBits, k)
+	}
+	return &DMRCodec{k: k}, nil
+}
+
+// Name implements Codec.
+func (c *DMRCodec) Name() string { return fmt.Sprintf("dmr(%d,%d)", 2*c.k, c.k) }
+
+// DataBits implements Codec.
+func (c *DMRCodec) DataBits() int { return c.k }
+
+// CodeBits implements Codec.
+func (c *DMRCodec) CodeBits() int { return 2 * c.k }
+
+// Encode implements Codec: copy A in bits [0,k), copy B in [k,2k).
+func (c *DMRCodec) Encode(data Bits) Bits {
+	var code Bits
+	for i := 0; i < c.k; i++ {
+		if data.Get(i) {
+			code = code.Set(i, true).Set(i+c.k, true)
+		}
+	}
+	return code
+}
+
+// Decode implements Codec: mismatching copies are a detected,
+// unrecoverable error; the first copy is returned as the best effort.
+func (c *DMRCodec) Decode(code Bits) (Bits, Status) {
+	var a, b Bits
+	for i := 0; i < c.k; i++ {
+		if code.Get(i) {
+			a = a.Set(i, true)
+		}
+		if code.Get(i + c.k) {
+			b = b.Set(i, true)
+		}
+	}
+	if a != b {
+		return a, Detected
+	}
+	return a, Clean
+}

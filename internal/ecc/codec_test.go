@@ -1,0 +1,402 @@
+package ecc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasics(t *testing.T) {
+	var b Bits
+	if !b.IsZero() {
+		t.Error("zero Bits not zero")
+	}
+	b = b.Set(0, true).Set(63, true).Set(71, true)
+	if !b.Get(0) || !b.Get(63) || !b.Get(71) || b.Get(1) {
+		t.Error("Get/Set mismatch")
+	}
+	if b.OnesCount() != 3 {
+		t.Errorf("OnesCount = %d, want 3", b.OnesCount())
+	}
+	b = b.Flip(71)
+	if b.Get(71) || b.OnesCount() != 2 {
+		t.Error("Flip failed")
+	}
+	if got := BitsFromUint64(0xdeadbeef).Uint64(); got != 0xdeadbeef {
+		t.Errorf("Uint64 roundtrip = %#x", got)
+	}
+	x := BitsFromUint64(0xf0)
+	y := BitsFromUint64(0x0f)
+	if x.Xor(y).Uint64() != 0xff {
+		t.Error("Xor failed")
+	}
+	if BitsFromUint64(1).String() == "" {
+		t.Error("empty String")
+	}
+	if b = b.Set(63, false); b.Get(63) {
+		t.Error("Set false failed")
+	}
+}
+
+func codecs(t *testing.T) []Codec {
+	t.Helper()
+	p32, err := NewParity(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h32, err := NewHamming(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h64, err := NewHamming(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h8, err := NewHamming(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h16, err := NewHamming(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := NewRaw(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Codec{p32, h8, h16, h32, h64, r32}
+}
+
+func maskFor(c Codec) uint64 {
+	if c.DataBits() == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(c.DataBits())) - 1
+}
+
+func TestCodecGeometry(t *testing.T) {
+	tests := []struct {
+		name     string
+		mk       func() (Codec, error)
+		data     int
+		code     int
+		wantName string
+	}{
+		{"parity32", func() (Codec, error) { return NewParity(32) }, 32, 33, "parity(33,32)"},
+		{"hamming32", func() (Codec, error) { return NewHamming(32) }, 32, 39, "hamming(39,32)"},
+		{"hamming64", func() (Codec, error) { return NewHamming(64) }, 64, 72, "hamming(72,64)"},
+		{"hamming8", func() (Codec, error) { return NewHamming(8) }, 8, 13, "hamming(13,8)"},
+		{"hamming16", func() (Codec, error) { return NewHamming(16) }, 16, 22, "hamming(22,16)"},
+		{"raw32", func() (Codec, error) { return NewRaw(32) }, 32, 32, "raw(32)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := tt.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.DataBits() != tt.data || c.CodeBits() != tt.code {
+				t.Errorf("(%d,%d), want (%d,%d)", c.CodeBits(), c.DataBits(), tt.code, tt.data)
+			}
+			if c.Name() != tt.wantName {
+				t.Errorf("Name = %q, want %q", c.Name(), tt.wantName)
+			}
+		})
+	}
+}
+
+func TestCodecConstructorsReject(t *testing.T) {
+	if _, err := NewParity(0); !errors.Is(err, ErrBadDataBits) {
+		t.Error("NewParity(0) accepted")
+	}
+	if _, err := NewParity(65); !errors.Is(err, ErrBadDataBits) {
+		t.Error("NewParity(65) accepted")
+	}
+	if _, err := NewHamming(12); !errors.Is(err, ErrBadDataBits) {
+		t.Error("NewHamming(12) accepted")
+	}
+	if _, err := NewRaw(0); !errors.Is(err, ErrBadDataBits) {
+		t.Error("NewRaw(0) accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustHamming(7) did not panic")
+		}
+	}()
+	MustHamming(7)
+}
+
+func TestRoundTripClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range codecs(t) {
+		mask := maskFor(c)
+		for i := 0; i < 500; i++ {
+			want := rng.Uint64() & mask
+			got, st := c.Decode(c.Encode(BitsFromUint64(want)))
+			if st != Clean {
+				t.Fatalf("%s: clean codeword decoded as %v", c.Name(), st)
+			}
+			if got.Uint64() != want {
+				t.Fatalf("%s: roundtrip %#x -> %#x", c.Name(), want, got.Uint64())
+			}
+		}
+	}
+}
+
+func TestHammingCorrectsEverySingleBitError(t *testing.T) {
+	// Exhaustive over all single-bit positions for every supported width,
+	// with many random payloads: the defining SEC property.
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{8, 16, 32, 64} {
+		c := MustHamming(k)
+		mask := maskFor(c)
+		for trial := 0; trial < 50; trial++ {
+			data := rng.Uint64() & mask
+			code := c.Encode(BitsFromUint64(data))
+			for pos := 0; pos < c.CodeBits(); pos++ {
+				got, st := c.Decode(code.Flip(pos))
+				if st != Corrected {
+					t.Fatalf("hamming(%d): flip at %d -> %v, want Corrected", k, pos, st)
+				}
+				if got.Uint64() != data {
+					t.Fatalf("hamming(%d): flip at %d miscorrected %#x -> %#x",
+						k, pos, data, got.Uint64())
+				}
+			}
+		}
+	}
+}
+
+func TestHammingDetectsEveryDoubleBitError(t *testing.T) {
+	// Exhaustive over all flip pairs for k=8 and k=16; sampled for wider
+	// words: the defining DED property.
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{8, 16} {
+		c := MustHamming(k)
+		mask := maskFor(c)
+		for trial := 0; trial < 20; trial++ {
+			data := rng.Uint64() & mask
+			code := c.Encode(BitsFromUint64(data))
+			for i := 0; i < c.CodeBits(); i++ {
+				for j := i + 1; j < c.CodeBits(); j++ {
+					if _, st := c.Decode(code.Flip(i).Flip(j)); st != Detected {
+						t.Fatalf("hamming(%d): flips at %d,%d -> %v, want Detected", k, i, j, st)
+					}
+				}
+			}
+		}
+	}
+	for _, k := range []int{32, 64} {
+		c := MustHamming(k)
+		mask := maskFor(c)
+		for trial := 0; trial < 2000; trial++ {
+			data := rng.Uint64() & mask
+			code := c.Encode(BitsFromUint64(data))
+			i := rng.Intn(c.CodeBits())
+			j := rng.Intn(c.CodeBits())
+			if i == j {
+				continue
+			}
+			if _, st := c.Decode(code.Flip(i).Flip(j)); st != Detected {
+				t.Fatalf("hamming(%d): flips at %d,%d -> %v, want Detected", k, i, j, st)
+			}
+		}
+	}
+}
+
+func TestHammingTripleBitBehaviour(t *testing.T) {
+	// With 3 flips an extended Hamming code either miscorrects (reports
+	// Corrected with wrong data — an SDC, the basis of equation (7)) or
+	// detects. It must never report Clean, and a meaningful fraction must
+	// miscorrect.
+	c := MustHamming(32)
+	rng := rand.New(rand.NewSource(4))
+	var miscorrected, detected int
+	const trials = 5000
+	for trial := 0; trial < trials; trial++ {
+		data := rng.Uint64() & maskFor(c)
+		code := c.Encode(BitsFromUint64(data))
+		pos := rng.Perm(c.CodeBits())[:3]
+		corrupt := code.Flip(pos[0]).Flip(pos[1]).Flip(pos[2])
+		got, st := c.Decode(corrupt)
+		switch st {
+		case Clean:
+			t.Fatalf("3 flips reported Clean")
+		case Corrected:
+			if got.Uint64() == data {
+				t.Fatalf("3 flips fully corrected — impossible for SEC-DED")
+			}
+			miscorrected++
+		case Detected:
+			detected++
+		}
+	}
+	if miscorrected == 0 || detected == 0 {
+		t.Errorf("3-flip outcomes: %d miscorrected / %d detected; want both nonzero",
+			miscorrected, detected)
+	}
+}
+
+func TestParityDetectsOddFlips(t *testing.T) {
+	p, err := NewParity(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		data := rng.Uint64() & maskFor(p)
+		code := p.Encode(BitsFromUint64(data))
+		nflips := 1 + rng.Intn(5)
+		pos := rng.Perm(p.CodeBits())[:nflips]
+		corrupt := code
+		for _, i := range pos {
+			corrupt = corrupt.Flip(i)
+		}
+		_, st := p.Decode(corrupt)
+		if nflips%2 == 1 && st != Detected {
+			t.Fatalf("parity: %d flips -> %v, want Detected", nflips, st)
+		}
+		if nflips%2 == 0 && st != Clean {
+			t.Fatalf("parity: %d flips -> %v, want Clean (undetected SDC)", nflips, st)
+		}
+	}
+}
+
+func TestRawNeverObservesErrors(t *testing.T) {
+	r, err := NewRaw(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := r.Encode(BitsFromUint64(0xabcd))
+	got, st := r.Decode(code.Flip(3))
+	if st != Clean {
+		t.Errorf("raw codec status = %v, want Clean", st)
+	}
+	if got.Uint64() == 0xabcd {
+		t.Error("raw codec silently repaired a flip")
+	}
+}
+
+func TestEncodeDecodeQuickProperty(t *testing.T) {
+	// Property: for every codec and any payload, Decode∘Encode is the
+	// identity and reports Clean.
+	for _, c := range codecs(t) {
+		c := c
+		f := func(v uint64) bool {
+			want := v & maskFor(c)
+			got, st := c.Decode(c.Encode(BitsFromUint64(want)))
+			return st == Clean && got.Uint64() == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Clean.String() != "clean" || Corrected.String() != "corrected" || Detected.String() != "detected" {
+		t.Error("status stringer wrong")
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Error("unknown status stringer wrong")
+	}
+}
+
+func TestDMRGeometryAndRoundTrip(t *testing.T) {
+	d, err := NewDMR(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DataBits() != 32 || d.CodeBits() != 64 || d.Name() != "dmr(64,32)" {
+		t.Errorf("geometry: %s (%d,%d)", d.Name(), d.CodeBits(), d.DataBits())
+	}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 300; i++ {
+		want := uint64(rng.Uint32())
+		got, st := d.Decode(d.Encode(BitsFromUint64(want)))
+		if st != Clean || got.Uint64() != want {
+			t.Fatalf("roundtrip %#x -> %#x (%v)", want, got.Uint64(), st)
+		}
+	}
+	if _, err := NewDMR(0); !errors.Is(err, ErrBadDataBits) {
+		t.Error("NewDMR(0) accepted")
+	}
+	if _, err := NewDMR(33); !errors.Is(err, ErrBadDataBits) {
+		t.Error("NewDMR(33) accepted")
+	}
+}
+
+func TestDMRDetectsAnyAsymmetricCorruption(t *testing.T) {
+	// Any flip set that does not hit both copies identically is
+	// detected; identical flips in both copies are the (vanishingly
+	// rare) silent case.
+	d, err := NewDMR(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		data := uint64(rng.Uint32())
+		code := d.Encode(BitsFromUint64(data))
+		n := 1 + rng.Intn(5)
+		corrupt := code
+		for _, pos := range rng.Perm(64)[:n] {
+			corrupt = corrupt.Flip(pos)
+		}
+		// Determine whether the flips happen to be copy-symmetric.
+		var a, b uint32
+		for j := 0; j < 32; j++ {
+			if corrupt.Get(j) {
+				a |= 1 << j
+			}
+			if corrupt.Get(j + 32) {
+				b |= 1 << j
+			}
+		}
+		_, st := d.Decode(corrupt)
+		if a == b && st != Clean {
+			t.Fatalf("symmetric corruption detected?")
+		}
+		if a != b && st != Detected {
+			t.Fatalf("asymmetric corruption (%d flips) -> %v, want Detected", n, st)
+		}
+	}
+}
+
+func TestDMRSymmetricFlipsAreSilent(t *testing.T) {
+	// The one weakness: the same bit flipped in both copies is
+	// undetectable silent corruption.
+	d, err := NewDMR(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := d.Encode(BitsFromUint64(0x1234))
+	got, st := d.Decode(code.Flip(5).Flip(5 + 32))
+	if st != Clean {
+		t.Errorf("symmetric double flip -> %v, want Clean (silent)", st)
+	}
+	if got.Uint64() == 0x1234 {
+		t.Error("data should be silently wrong")
+	}
+}
+
+func FuzzHammingDecodeNeverPanics(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0xdeadbeefcafef00d), uint64(0x1))
+	f.Fuzz(func(t *testing.T, lo, hi uint64) {
+		// Any 72-bit pattern must decode without panicking and with a
+		// valid status.
+		c := MustHamming(64)
+		code := BitsFromUint64(lo)
+		for i := 0; i < 8; i++ {
+			if hi&(1<<i) != 0 {
+				code = code.Set(64+i, true)
+			}
+		}
+		_, st := c.Decode(code)
+		if st != Clean && st != Corrected && st != Detected {
+			t.Fatalf("invalid status %v", st)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newInterleaved2x16(t *testing.T) *InterleavedCodec {
+	t.Helper()
+	c, err := NewInterleaved(2, func() (Codec, error) { return NewHamming(16) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInterleavedGeometry(t *testing.T) {
+	c := newInterleaved2x16(t)
+	if c.DataBits() != 32 || c.CodeBits() != 44 {
+		t.Errorf("geometry = (%d,%d), want (44,32)", c.CodeBits(), c.DataBits())
+	}
+	if c.Name() != "interleaved-2xhamming(22,16)" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestInterleavedConstructorRejects(t *testing.T) {
+	if _, err := NewInterleaved(1, func() (Codec, error) { return NewHamming(16) }); err == nil {
+		t.Error("1-way interleave accepted")
+	}
+	if _, err := NewInterleaved(2, func() (Codec, error) { return NewHamming(5) }); err == nil {
+		t.Error("inner constructor error not propagated")
+	}
+	if _, err := NewInterleaved(4, func() (Codec, error) { return NewHamming(64) }); err == nil {
+		t.Error("oversized interleave accepted (288 bits)")
+	}
+	// Inner codecs that disagree on geometry are rejected.
+	sizes := []int{16, 32}
+	i := 0
+	if _, err := NewInterleaved(2, func() (Codec, error) {
+		k := sizes[i%2]
+		i++
+		return NewHamming(k)
+	}); err == nil {
+		t.Error("mismatched inner geometry accepted")
+	}
+}
+
+func TestInterleavedRoundTrip(t *testing.T) {
+	c := newInterleaved2x16(t)
+	f := func(v uint32) bool {
+		got, st := c.Decode(c.Encode(BitsFromUint64(uint64(v))))
+		return st == Clean && got.Uint64() == uint64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedCorrectsAdjacentDoubleFlips(t *testing.T) {
+	// The whole point: a 2-bit adjacent cluster — a DUE for plain
+	// SEC-DED (eq. 5) — splits across the two ways and is fully
+	// corrected.
+	c := newInterleaved2x16(t)
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 200; trial++ {
+		data := uint64(rng.Uint32())
+		code := c.Encode(BitsFromUint64(data))
+		pos := rng.Intn(c.CodeBits() - 1)
+		got, st := c.Decode(code.Flip(pos).Flip(pos + 1))
+		if st != Corrected {
+			t.Fatalf("adjacent double flip at %d -> %v, want Corrected", pos, st)
+		}
+		if got.Uint64() != data {
+			t.Fatalf("adjacent double flip miscorrected")
+		}
+	}
+}
+
+func TestInterleavedSingleFlipsCorrected(t *testing.T) {
+	c := newInterleaved2x16(t)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		data := uint64(rng.Uint32())
+		code := c.Encode(BitsFromUint64(data))
+		for pos := 0; pos < c.CodeBits(); pos++ {
+			got, st := c.Decode(code.Flip(pos))
+			if st != Corrected || got.Uint64() != data {
+				t.Fatalf("single flip at %d -> %v", pos, st)
+			}
+		}
+	}
+}
+
+func TestInterleavedAdjacentTripleDetectedOrCorrected(t *testing.T) {
+	// A 3-bit adjacent cluster puts 2 flips in one way (detected) and 1
+	// in the other (corrected): overall Detected — never silent.
+	c := newInterleaved2x16(t)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		data := uint64(rng.Uint32())
+		code := c.Encode(BitsFromUint64(data))
+		pos := rng.Intn(c.CodeBits() - 2)
+		_, st := c.Decode(code.Flip(pos).Flip(pos + 1).Flip(pos + 2))
+		if st != Detected {
+			t.Fatalf("adjacent triple flip -> %v, want Detected", st)
+		}
+	}
+}
+
+func TestInterleavedAdjacentQuadDetectedNotSilent(t *testing.T) {
+	// A 4-bit adjacent cluster is 2 flips per way: both ways detect.
+	c := newInterleaved2x16(t)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		data := uint64(rng.Uint32())
+		code := c.Encode(BitsFromUint64(data))
+		pos := rng.Intn(c.CodeBits() - 3)
+		corrupt := code
+		for i := 0; i < 4; i++ {
+			corrupt = corrupt.Flip(pos + i)
+		}
+		if _, st := c.Decode(corrupt); st != Detected {
+			t.Fatalf("adjacent quad flip -> %v, want Detected", st)
+		}
+	}
+}

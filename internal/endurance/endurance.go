@@ -1,0 +1,125 @@
+// Package endurance implements the paper's STT-RAM wear model (Table
+// III, Fig. 8): the lifetime of a structure is the time until its
+// hottest cell accumulates the technology's write-cycle threshold. FTSPM
+// wins by ~3 orders of magnitude because the MDA deports write-intensive
+// blocks from the STT-RAM region, slashing the hottest STT cell's write
+// rate.
+package endurance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ftspm/internal/memtech"
+	"ftspm/internal/spm"
+)
+
+// PaperThresholds are the write-cycle thresholds of Table III: since
+// there is no consensus on STT-RAM write endurance, the paper sweeps
+// 10^12 through 10^16.
+func PaperThresholds() []float64 {
+	return []float64{1e12, 1e13, 1e14, 1e15, 1e16}
+}
+
+// Errors returned by the package.
+var (
+	ErrNoExecution = errors.New("endurance: execution time must be positive")
+	ErrNilSPM      = errors.New("endurance: SPM must not be nil")
+)
+
+// MaxCellWriteRate returns the per-second write rate of the hottest word
+// in the SPM's regions of the given kinds (writes accumulated by the
+// simulation divided by the execution time). Restrict kinds to
+// spm.RegionSTT to measure the endurance-relevant wear; SRAM regions
+// have no endurance limit.
+func MaxCellWriteRate(s *spm.SPM, cycles memtech.Cycles, kinds ...spm.RegionKind) (float64, error) {
+	if s == nil {
+		return 0, ErrNilSPM
+	}
+	if cycles == 0 {
+		return 0, ErrNoExecution
+	}
+	match := func(k spm.RegionKind) bool {
+		if len(kinds) == 0 {
+			return true
+		}
+		for _, want := range kinds {
+			if k == want {
+				return true
+			}
+		}
+		return false
+	}
+	var maxWrites uint64
+	for _, r := range s.Regions() {
+		if !match(r.Kind()) {
+			continue
+		}
+		if w := r.MaxWriteCount(); w > maxWrites {
+			maxWrites = w
+		}
+	}
+	return float64(maxWrites) / cycles.Seconds(), nil
+}
+
+// Lifetime returns the seconds until a cell written at ratePerSec
+// reaches the given write-cycle threshold. A zero rate yields +Inf (the
+// structure never wears out).
+func Lifetime(threshold, ratePerSec float64) float64 {
+	if ratePerSec <= 0 {
+		return math.Inf(1)
+	}
+	return threshold / ratePerSec
+}
+
+// Row is one Table III row: a threshold and the lifetimes of the two
+// endurance-limited structures.
+type Row struct {
+	Threshold      float64
+	BaselineSTTSec float64
+	FTSPMSec       float64
+}
+
+// Improvement returns the FTSPM/baseline lifetime ratio.
+func (r Row) Improvement() float64 {
+	if r.BaselineSTTSec == 0 {
+		return math.Inf(1)
+	}
+	return r.FTSPMSec / r.BaselineSTTSec
+}
+
+// Table builds Table III from the hottest-cell write rates of the pure
+// STT-RAM baseline and FTSPM.
+func Table(baselineRate, ftspmRate float64, thresholds []float64) []Row {
+	rows := make([]Row, 0, len(thresholds))
+	for _, th := range thresholds {
+		rows = append(rows, Row{
+			Threshold:      th,
+			BaselineSTTSec: Lifetime(th, baselineRate),
+			FTSPMSec:       Lifetime(th, ftspmRate),
+		})
+	}
+	return rows
+}
+
+// Humanize renders a lifetime in the paper's Table III style
+// ("~40 minutes", "~61 days", "~1665 years").
+func Humanize(seconds float64) string {
+	switch {
+	case math.IsInf(seconds, 1):
+		return "unlimited"
+	case seconds < 60:
+		return fmt.Sprintf("~%.0f seconds", seconds)
+	case seconds < 2*3600:
+		return fmt.Sprintf("~%.0f minutes", seconds/60)
+	case seconds < 2*86400:
+		return fmt.Sprintf("~%.0f hours", seconds/3600)
+	case seconds < 90*86400:
+		return fmt.Sprintf("~%.0f days", seconds/86400)
+	case seconds < 2*31557600:
+		return fmt.Sprintf("~%.1f years", seconds/31557600)
+	default:
+		return fmt.Sprintf("~%.0f years", seconds/31557600)
+	}
+}

@@ -1,0 +1,143 @@
+package endurance
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ftspm/internal/memtech"
+	"ftspm/internal/spm"
+)
+
+func TestLifetime(t *testing.T) {
+	if got := Lifetime(1e12, 4e8); math.Abs(got-2500) > 1e-9 {
+		t.Errorf("Lifetime = %v, want 2500 s", got)
+	}
+	if !math.IsInf(Lifetime(1e12, 0), 1) {
+		t.Error("zero rate not unlimited")
+	}
+	if !math.IsInf(Lifetime(1e12, -1), 1) {
+		t.Error("negative rate not unlimited")
+	}
+}
+
+func TestPaperThresholds(t *testing.T) {
+	th := PaperThresholds()
+	want := []float64{1e12, 1e13, 1e14, 1e15, 1e16}
+	if len(th) != len(want) {
+		t.Fatalf("thresholds = %v", th)
+	}
+	for i := range want {
+		if th[i] != want[i] {
+			t.Errorf("threshold[%d] = %v", i, th[i])
+		}
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	// Table III's first row: pure STT ~40 minutes vs FTSPM ~61 days at
+	// 10^12 — a ~2200x improvement. Build the table from rates chosen to
+	// match and verify the improvement is threshold-invariant.
+	baseRate := 1e12 / (40 * 60.0)     // wears 1e12 in 40 minutes
+	ftspmRate := 1e12 / (61 * 86400.0) // wears 1e12 in 61 days
+	rows := Table(baseRate, ftspmRate, PaperThresholds())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		imp := r.Improvement()
+		if math.Abs(imp-2196) > 1 {
+			t.Errorf("row %d improvement = %v, want ~2196", i, imp)
+		}
+		if i > 0 && r.BaselineSTTSec <= rows[i-1].BaselineSTTSec {
+			t.Error("lifetimes not increasing with threshold")
+		}
+	}
+	if got := Humanize(rows[0].BaselineSTTSec); got != "~40 minutes" {
+		t.Errorf("baseline row 0 = %q", got)
+	}
+	if got := Humanize(rows[0].FTSPMSec); got != "~61 days" {
+		t.Errorf("FTSPM row 0 = %q", got)
+	}
+	inf := Row{Threshold: 1, BaselineSTTSec: 0, FTSPMSec: 1}
+	if !math.IsInf(inf.Improvement(), 1) {
+		t.Error("zero-baseline improvement not Inf")
+	}
+}
+
+func TestHumanizeRanges(t *testing.T) {
+	tests := []struct {
+		sec  float64
+		want string
+	}{
+		{30, "~30 seconds"},
+		{40 * 60, "~40 minutes"},
+		{7 * 3600, "~7 hours"},
+		{3 * 86400, "~3 days"},
+		{61 * 86400, "~61 days"},
+		{1.5 * 31557600, "~1.5 years"},
+		{16 * 31557600, "~16 years"},
+		{1665 * 31557600, "~1665 years"},
+		{math.Inf(1), "unlimited"},
+	}
+	for _, tt := range tests {
+		if got := Humanize(tt.sec); got != tt.want {
+			t.Errorf("Humanize(%v) = %q, want %q", tt.sec, got, tt.want)
+		}
+	}
+	if !strings.HasPrefix(Humanize(59), "~59 sec") {
+		t.Error("seconds range wrong")
+	}
+}
+
+func TestMaxCellWriteRate(t *testing.T) {
+	s, err := spm.New(0,
+		spm.RegionConfig{Kind: spm.RegionSTT, SizeBytes: 256},
+		spm.RegionConfig{Kind: spm.RegionParity, SizeBytes: 256},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stt, _ := s.RegionByKind(spm.RegionSTT)
+	par, _ := s.RegionByKind(spm.RegionParity)
+	// Write word 3 of STT five times, parity word 0 fifty times.
+	for i := 0; i < 5; i++ {
+		if _, err := stt.Write(3, []uint32{uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := par.Write(0, []uint32{uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One second of execution at 1 GHz.
+	cycles := memtech.Cycles(1e9)
+	rate, err := MaxCellWriteRate(s, cycles, spm.RegionSTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-5) > 1e-9 {
+		t.Errorf("STT rate = %v, want 5/s", rate)
+	}
+	// Without a kind filter the parity region dominates.
+	rate, err = MaxCellWriteRate(s, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-50) > 1e-9 {
+		t.Errorf("unfiltered rate = %v, want 50/s", rate)
+	}
+	if _, err := MaxCellWriteRate(nil, cycles); !errors.Is(err, ErrNilSPM) {
+		t.Error("nil SPM accepted")
+	}
+	if _, err := MaxCellWriteRate(s, 0); !errors.Is(err, ErrNoExecution) {
+		t.Error("zero cycles accepted")
+	}
+	// A kind absent from the SPM yields zero rate.
+	rate, err = MaxCellWriteRate(s, cycles, spm.RegionECC)
+	if err != nil || rate != 0 {
+		t.Errorf("absent kind rate = %v, err %v", rate, err)
+	}
+}

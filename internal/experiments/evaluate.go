@@ -1,0 +1,239 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see the experiment index in DESIGN.md §4). The
+// drivers are shared by cmd/ftspm-bench, the examples, and the
+// bench_test.go harness, so every reported number is regenerated through
+// exactly one code path.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ftspm/internal/avf"
+	"ftspm/internal/core"
+	"ftspm/internal/endurance"
+	"ftspm/internal/faults"
+	"ftspm/internal/profile"
+	"ftspm/internal/sim"
+	"ftspm/internal/spm"
+	"ftspm/internal/workloads"
+)
+
+// Options parameterize an experiment run.
+type Options struct {
+	// Scale multiplies the reference trace length (1.0 = full length;
+	// the default keeps full-suite sweeps in seconds).
+	Scale float64
+	// Thresholds are the MDA budgets.
+	Thresholds core.Thresholds
+	// Priority selects the MDA optimization target.
+	Priority core.Priority
+}
+
+// DefaultOptions returns the settings used for the recorded results in
+// EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{
+		Scale:      0.25,
+		Thresholds: core.DefaultThresholds(),
+		Priority:   core.PriorityReliability,
+	}
+}
+
+// normalize fills zero fields with defaults.
+func (o Options) normalize() Options {
+	def := DefaultOptions()
+	if o.Scale <= 0 {
+		o.Scale = def.Scale
+	}
+	if o.Thresholds == (core.Thresholds{}) {
+		o.Thresholds = def.Thresholds
+	}
+	if !o.Priority.Valid() {
+		o.Priority = def.Priority
+	}
+	return o
+}
+
+// Outcome is the full evaluation of one workload on one structure.
+type Outcome struct {
+	// Workload and Structure identify the run.
+	Workload  string
+	Structure core.Structure
+	// Spec is the structure geometry.
+	Spec core.Spec
+	// Profile is the off-line profiling result.
+	Profile *profile.Profile
+	// Mapping is the MDA output.
+	Mapping core.Mapping
+	// Sim is the execution accounting.
+	Sim sim.Result
+	// AVF is the reliability report (per-block for the hybrid, uniform
+	// for the single-region baselines, as in the paper — see avf docs).
+	AVF avf.Report
+	// STTWriteRate is the hottest STT-RAM cell's write rate in writes
+	// per second (0 when the structure has no STT-RAM or no writes).
+	STTWriteRate float64
+}
+
+// ErrUnknownWorkload re-exports workload resolution failures.
+var ErrUnknownWorkload = workloads.ErrUnknownWorkload
+
+// Evaluate runs the full pipeline — profile, MDA, simulate, AVF,
+// endurance — for one workload on one structure.
+func Evaluate(w workloads.Workload, structure core.Structure, opts Options) (Outcome, error) {
+	opts = opts.normalize()
+	spec, err := core.NewSpec(structure)
+	if err != nil {
+		return Outcome{}, err
+	}
+	prof, err := profile.Run(w.Program(), w.Trace(opts.Scale))
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: profile %s: %w", w.Name, err)
+	}
+	return evaluateSpec(w, spec, prof, opts)
+}
+
+// evaluateSpec is the Evaluate body for a pre-computed profile and a
+// possibly-customized structure spec (used by the ablation studies).
+func evaluateSpec(w workloads.Workload, spec core.Spec, prof *profile.Profile, opts Options) (Outcome, error) {
+	opts = opts.normalize()
+	structure := spec.Structure
+	mapping, err := core.MapBlocks(prof, spec, opts.Thresholds, opts.Priority)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: map %s/%v: %w", w.Name, structure, err)
+	}
+	machine, err := sim.New(w.Program(), spec.SimConfig(mapping.Placement))
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: build %s/%v: %w", w.Name, structure, err)
+	}
+	res, err := machine.Run(w.Trace(opts.Scale))
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: run %s/%v: %w", w.Name, structure, err)
+	}
+
+	mode := avf.ModeUniform
+	if len(spec.DataKinds) > 1 {
+		mode = avf.ModePerBlock
+	}
+	// Occupancy is normalized over the data-SPM surface: the mapping
+	// algorithm distributes data blocks over it, and in the structures
+	// with STT-RAM I-SPMs the instruction side is immune anyway.
+	rep, err := avf.Compute(prof, mapping.Placement, faults.Dist40nm, spec.DSPMBytes(), mode)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: avf %s/%v: %w", w.Name, structure, err)
+	}
+
+	var rate float64
+	if _, hasSTT := machine.DataSPM().RegionByKind(spm.RegionSTT); hasSTT {
+		dataRate, err := endurance.MaxCellWriteRate(machine.DataSPM(), res.Cycles, spm.RegionSTT)
+		if err != nil && !errors.Is(err, endurance.ErrNoExecution) {
+			return Outcome{}, err
+		}
+		rate = dataRate
+	}
+
+	return Outcome{
+		Workload:     w.Name,
+		Structure:    structure,
+		Spec:         spec,
+		Profile:      prof,
+		Mapping:      mapping,
+		Sim:          res,
+		AVF:          rep,
+		STTWriteRate: rate,
+	}, nil
+}
+
+// EvaluateByName resolves the workload by name and evaluates it.
+func EvaluateByName(name string, structure core.Structure, opts Options) (Outcome, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Evaluate(w, structure, opts)
+}
+
+// Sweep evaluates the full MiBench-substitute suite on all three
+// structures. Outcomes are indexed [workload][structure in
+// core.Structures() order].
+type Sweep struct {
+	// Workloads lists the evaluated workload names in order.
+	Workloads []string
+	// Outcomes holds one row per workload, one column per structure in
+	// core.Structures() order (pure SRAM, pure STT, FTSPM).
+	Outcomes [][]Outcome
+	// Options records the sweep settings.
+	Options Options
+}
+
+// RunSweep evaluates the suite. The 36 (workload, structure) runs are
+// independent, so they execute on a bounded worker pool; results are
+// deterministic regardless of scheduling (every generator is seeded and
+// each run owns its machine).
+func RunSweep(opts Options) (*Sweep, error) {
+	opts = opts.normalize()
+	suite := workloads.Suite()
+	structures := core.Structures()
+	sw := &Sweep{Options: opts}
+	sw.Workloads = make([]string, len(suite))
+	sw.Outcomes = make([][]Outcome, len(suite))
+	for i, w := range suite {
+		sw.Workloads[i] = w.Name
+		sw.Outcomes[i] = make([]Outcome, len(structures))
+	}
+
+	type job struct{ wi, si int }
+	jobs := make(chan job)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(suite)*len(structures) {
+		workers = len(suite) * len(structures)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out, err := Evaluate(suite[j.wi], structures[j.si], opts)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				sw.Outcomes[j.wi][j.si] = out
+			}
+		}()
+	}
+	for wi := range suite {
+		for si := range structures {
+			jobs <- job{wi: wi, si: si}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sw, nil
+}
+
+// Get returns the outcome for a workload/structure pair.
+func (s *Sweep) Get(workload string, structure core.Structure) (Outcome, error) {
+	for i, name := range s.Workloads {
+		if name != workload {
+			continue
+		}
+		for _, out := range s.Outcomes[i] {
+			if out.Structure == structure {
+				return out, nil
+			}
+		}
+	}
+	return Outcome{}, fmt.Errorf("experiments: no outcome for %s/%v", workload, structure)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"ftspm/internal/core"
+)
+
+func TestValidateAVFEmpiricalOrdering(t *testing.T) {
+	rows, tb, err := ValidateAVF("casestudy", 0.05, 404, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byStruct := map[core.Structure]ValidationRow{}
+	for _, r := range rows {
+		byStruct[r.Structure] = r
+		if r.Strikes == 0 {
+			t.Fatalf("%v: no strikes landed", r.Structure)
+		}
+	}
+	sram := byStruct[core.StructPureSRAM]
+	stt := byStruct[core.StructPureSTT]
+	ft := byStruct[core.StructFTSPM]
+
+	// The immune structure consumes nothing, ever.
+	if stt.ConsumedErrors() != 0 || stt.CorrectedReads != 0 {
+		t.Errorf("pure STT-RAM consumed errors under injection: %+v", stt)
+	}
+	// The ECC baseline corrects the single-bit majority.
+	if sram.CorrectedReads == 0 {
+		t.Error("ECC baseline corrected nothing")
+	}
+	// The empirical face of Fig. 5: the baseline consumes several times
+	// more corrupted reads than FTSPM at the same strike rate.
+	if sram.ConsumedErrors() == 0 {
+		t.Fatal("baseline consumed no errors — campaign too small")
+	}
+	if ft.ConsumedErrors()*2 >= sram.ConsumedErrors() {
+		t.Errorf("FTSPM consumed %d vs baseline %d; want a clear gap",
+			ft.ConsumedErrors(), sram.ConsumedErrors())
+	}
+	// Analytic predictions attached for the table: baseline at 0.38.
+	if sram.AnalyticVulnerability < 0.379 || sram.AnalyticVulnerability > 0.381 {
+		t.Errorf("baseline analytic vulnerability = %v", sram.AnalyticVulnerability)
+	}
+}
+
+func TestValidateAVFDefaultsAndErrors(t *testing.T) {
+	if _, _, err := ValidateAVF("nope", 0.01, 1, testOpts); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	rows, _, err := ValidateAVF("crc32", 0, 1, Options{Scale: 0.05})
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("default rate run failed: %v", err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package faults models radiation-induced soft errors: the multi-bit
+// upset (MBU) multiplicity statistics the paper takes from Dixit &
+// Wood [6], a Poisson particle-strike process, and bit-flip injection
+// into codewords. It supplies both the analytic probabilities used by the
+// AVF equations (1)–(7) and Monte-Carlo campaigns that exercise the real
+// ecc codecs.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftspm/internal/ecc"
+)
+
+// MBUDistribution is the probability distribution of the number of bits
+// flipped by a single particle strike.
+type MBUDistribution struct {
+	// P1..P3 are the probabilities of exactly 1, 2, and 3 flipped bits.
+	P1, P2, P3 float64
+	// PMore is the probability of more than 3 flipped bits.
+	PMore float64
+}
+
+// Dist40nm is the 40 nm technology-node distribution reported in [6] and
+// used throughout the paper's reliability analysis: 62% single-bit, 25%
+// double-bit, 6% triple-bit, 7% more than three bits.
+var Dist40nm = MBUDistribution{P1: 0.62, P2: 0.25, P3: 0.06, PMore: 0.07}
+
+// Older and newer technology nodes, extrapolated from the trend in [6]
+// (the multi-bit tail grows as the feature size shrinks — the paper's
+// core motivation: "with continuous down scaling ... SPMs have become
+// more vulnerable"). Used by the node-scaling study
+// (experiments.AblationTechNode); the paper itself evaluates only 40 nm.
+var (
+	// Dist65nm: upsets at 65 nm are still dominated by single bits.
+	Dist65nm = MBUDistribution{P1: 0.85, P2: 0.11, P3: 0.03, PMore: 0.01}
+	// Dist28nm: at 28 nm roughly half of all upsets are multi-bit.
+	Dist28nm = MBUDistribution{P1: 0.48, P2: 0.30, P3: 0.11, PMore: 0.11}
+	// Dist16nm: deep-nanometer node where multi-bit clusters dominate.
+	Dist16nm = MBUDistribution{P1: 0.35, P2: 0.32, P3: 0.16, PMore: 0.17}
+)
+
+// TechNodes lists the modelled nodes, largest feature size first.
+func TechNodes() []struct {
+	Name string
+	Dist MBUDistribution
+} {
+	return []struct {
+		Name string
+		Dist MBUDistribution
+	}{
+		{"65nm", Dist65nm},
+		{"40nm", Dist40nm},
+		{"28nm", Dist28nm},
+		{"16nm", Dist16nm},
+	}
+}
+
+// maxMultiplicity bounds the ">3 bits" tail when sampling: real MBU
+// clusters at 40 nm rarely exceed 8 bits.
+const maxMultiplicity = 8
+
+// Validate checks that the distribution sums to 1 and has no negative
+// mass.
+func (d MBUDistribution) Validate() error {
+	for _, p := range []float64{d.P1, d.P2, d.P3, d.PMore} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faults: probability %v out of [0,1]", p)
+		}
+	}
+	if s := d.P1 + d.P2 + d.P3 + d.PMore; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("faults: distribution sums to %v, want 1", s)
+	}
+	return nil
+}
+
+// PExactly returns P(multiplicity == k) for k in 1..3; for k > 3 it
+// spreads PMore uniformly over 4..maxMultiplicity.
+func (d MBUDistribution) PExactly(k int) float64 {
+	switch {
+	case k <= 0:
+		return 0
+	case k == 1:
+		return d.P1
+	case k == 2:
+		return d.P2
+	case k == 3:
+		return d.P3
+	case k <= maxMultiplicity:
+		return d.PMore / float64(maxMultiplicity-3)
+	default:
+		return 0
+	}
+}
+
+// PAtLeast returns P(multiplicity ≥ k), the quantity the paper's
+// equations (4)–(7) consume: e.g. the parity-region SDC probability is
+// PAtLeast(2) and the ECC-region SDC probability is PAtLeast(3).
+func (d MBUDistribution) PAtLeast(k int) float64 {
+	switch {
+	case k <= 1:
+		return d.P1 + d.P2 + d.P3 + d.PMore
+	case k == 2:
+		return d.P2 + d.P3 + d.PMore
+	case k == 3:
+		return d.P3 + d.PMore
+	default:
+		p := 0.0
+		for i := k; i <= maxMultiplicity; i++ {
+			p += d.PExactly(i)
+		}
+		return p
+	}
+}
+
+// Sample draws a strike multiplicity from the distribution.
+func (d MBUDistribution) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < d.P1:
+		return 1
+	case u < d.P1+d.P2:
+		return 2
+	case u < d.P1+d.P2+d.P3:
+		return 3
+	default:
+		return 4 + rng.Intn(maxMultiplicity-3)
+	}
+}
+
+// StrikeProcess is a homogeneous Poisson process of particle strikes over
+// a memory surface.
+type StrikeProcess struct {
+	// RatePerBitSec is the strike rate per stored bit per second.
+	RatePerBitSec float64
+	// Dist gives the flip multiplicity of each strike.
+	Dist MBUDistribution
+}
+
+// ExpectedStrikes returns the mean number of strikes on a structure of
+// the given bit count over the given interval.
+func (s StrikeProcess) ExpectedStrikes(bitCount int, seconds float64) float64 {
+	return s.RatePerBitSec * float64(bitCount) * seconds
+}
+
+// SampleStrikes draws the number of strikes from Poisson(mean) using
+// Knuth's method for small means and a normal approximation for large
+// ones.
+func SampleStrikes(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		n := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// InjectCluster flips `multiplicity` physically-adjacent bit positions of
+// the codeword (MBUs strike neighbouring cells), starting at a random
+// position within codeBits. It returns the corrupted word.
+func InjectCluster(rng *rand.Rand, word ecc.Bits, codeBits, multiplicity int) ecc.Bits {
+	if multiplicity <= 0 || codeBits <= 0 {
+		return word
+	}
+	if multiplicity > codeBits {
+		multiplicity = codeBits
+	}
+	start := rng.Intn(codeBits)
+	for i := 0; i < multiplicity; i++ {
+		word = word.Flip((start + i) % codeBits)
+	}
+	return word
+}
+
+// InjectScattered flips `multiplicity` distinct uniformly-random bit
+// positions of the codeword — the independent-flip variant used to probe
+// sensitivity to the adjacency assumption.
+func InjectScattered(rng *rand.Rand, word ecc.Bits, codeBits, multiplicity int) ecc.Bits {
+	if multiplicity <= 0 || codeBits <= 0 {
+		return word
+	}
+	if multiplicity > codeBits {
+		multiplicity = codeBits
+	}
+	for _, pos := range rng.Perm(codeBits)[:multiplicity] {
+		word = word.Flip(pos)
+	}
+	return word
+}
+
+// Outcome classifies the architectural effect of one strike on one
+// protected word, following the Section IV taxonomy.
+type Outcome int
+
+// Strike outcomes.
+const (
+	// Benign: the decoded data is intact and no error was signalled.
+	Benign Outcome = iota + 1
+	// DRE: detected and recovered (ECC corrected the flip).
+	DRE
+	// DUE: detected but unrecoverable.
+	DUE
+	// SDC: silent data corruption — wrong data with no signal, or a
+	// miscorrection.
+	SDC
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Benign:
+		return "benign"
+	case DRE:
+		return "DRE"
+	case DUE:
+		return "DUE"
+	case SDC:
+		return "SDC"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// ClassifyStrike injects one strike of the given multiplicity into a
+// fresh encoding of data under the codec, decodes, and classifies the
+// architectural outcome.
+func ClassifyStrike(rng *rand.Rand, codec ecc.Codec, data uint64, multiplicity int) Outcome {
+	code := codec.Encode(ecc.BitsFromUint64(data))
+	corrupt := InjectCluster(rng, code, codec.CodeBits(), multiplicity)
+	decoded, status := codec.Decode(corrupt)
+	intact := decoded.Uint64() == data
+	switch status {
+	case ecc.Corrected:
+		if intact {
+			return DRE
+		}
+		return SDC
+	case ecc.Detected:
+		return DUE
+	default: // ecc.Clean
+		if intact {
+			return Benign
+		}
+		return SDC
+	}
+}
+
+// Tally accumulates strike outcomes over a campaign.
+type Tally struct {
+	Benign, DRE, DUE, SDC int
+}
+
+// Total returns the number of classified strikes.
+func (t Tally) Total() int { return t.Benign + t.DRE + t.DUE + t.SDC }
+
+// Rate returns the fraction of strikes with the given outcome.
+func (t Tally) Rate(o Outcome) float64 {
+	n := t.Total()
+	if n == 0 {
+		return 0
+	}
+	var c int
+	switch o {
+	case Benign:
+		c = t.Benign
+	case DRE:
+		c = t.DRE
+	case DUE:
+		c = t.DUE
+	case SDC:
+		c = t.SDC
+	}
+	return float64(c) / float64(n)
+}
+
+// Add accumulates o into the tally.
+func (t *Tally) Add(o Outcome) {
+	switch o {
+	case Benign:
+		t.Benign++
+	case DRE:
+		t.DRE++
+	case DUE:
+		t.DUE++
+	case SDC:
+		t.SDC++
+	}
+}
+
+// ErrNoStrikes is returned by Campaign.Run for a non-positive count.
+var ErrNoStrikes = errors.New("faults: strike count must be positive")
+
+// Campaign is a Monte-Carlo fault-injection campaign against one codec.
+type Campaign struct {
+	// Codec under test.
+	Codec ecc.Codec
+	// Dist gives strike multiplicities; zero value is invalid — use
+	// Dist40nm for the paper's environment.
+	Dist MBUDistribution
+	// Seed makes the campaign reproducible.
+	Seed int64
+}
+
+// Run classifies n strikes against random payloads and returns the tally.
+func (c Campaign) Run(n int) (Tally, error) {
+	if n <= 0 {
+		return Tally{}, fmt.Errorf("%w: %d", ErrNoStrikes, n)
+	}
+	if err := c.Dist.Validate(); err != nil {
+		return Tally{}, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	var tally Tally
+	mask := ^uint64(0)
+	if c.Codec.DataBits() < 64 {
+		mask = (uint64(1) << uint(c.Codec.DataBits())) - 1
+	}
+	for i := 0; i < n; i++ {
+		data := rng.Uint64() & mask
+		tally.Add(ClassifyStrike(rng, c.Codec, data, c.Dist.Sample(rng)))
+	}
+	return tally, nil
+}

@@ -1,0 +1,311 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftspm/internal/ecc"
+)
+
+func TestDist40nmMatchesPaper(t *testing.T) {
+	// Section IV quotes [6]: 62% / 25% / 6% / 7% at the 40 nm node.
+	d := Dist40nm
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.P1 != 0.62 || d.P2 != 0.25 || d.P3 != 0.06 || d.PMore != 0.07 {
+		t.Errorf("Dist40nm = %+v", d)
+	}
+	// Equations (4)-(7) consume these tail probabilities.
+	if got := d.PAtLeast(2); math.Abs(got-0.38) > 1e-12 {
+		t.Errorf("P(>=2) = %v, want 0.38 (parity SDC probability, eq. 6)", got)
+	}
+	if got := d.PAtLeast(3); math.Abs(got-0.13) > 1e-12 {
+		t.Errorf("P(>=3) = %v, want 0.13 (ECC SDC probability, eq. 7)", got)
+	}
+	if got := d.PAtLeast(1); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("P(>=1) = %v, want 1", got)
+	}
+}
+
+func TestValidateRejectsBadDistributions(t *testing.T) {
+	if err := (MBUDistribution{P1: 0.5, P2: 0.5, P3: 0.5}).Validate(); err == nil {
+		t.Error("sum > 1 accepted")
+	}
+	if err := (MBUDistribution{P1: -0.1, P2: 0.6, P3: 0.3, PMore: 0.2}).Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestPExactly(t *testing.T) {
+	d := Dist40nm
+	if d.PExactly(0) != 0 || d.PExactly(-1) != 0 || d.PExactly(99) != 0 {
+		t.Error("out-of-range multiplicity has nonzero mass")
+	}
+	var sum float64
+	for k := 1; k <= 8; k++ {
+		sum += d.PExactly(k)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("PExactly sums to %v", sum)
+	}
+	// PAtLeast must be the tail sum of PExactly for every k.
+	for k := 1; k <= 9; k++ {
+		var tail float64
+		for i := k; i <= 8; i++ {
+			tail += d.PExactly(i)
+		}
+		if math.Abs(d.PAtLeast(k)-tail) > 1e-12 {
+			t.Errorf("PAtLeast(%d) = %v, want %v", k, d.PAtLeast(k), tail)
+		}
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	counts := map[int]int{}
+	for i := 0; i < n; i++ {
+		m := Dist40nm.Sample(rng)
+		if m < 1 || m > 8 {
+			t.Fatalf("sampled multiplicity %d out of range", m)
+		}
+		counts[m]++
+	}
+	check := func(k int, want float64) {
+		got := float64(counts[k]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(%d) empirical = %.4f, want %.2f", k, got, want)
+		}
+	}
+	check(1, 0.62)
+	check(2, 0.25)
+	check(3, 0.06)
+	more := float64(counts[4]+counts[5]+counts[6]+counts[7]+counts[8]) / n
+	if math.Abs(more-0.07) > 0.01 {
+		t.Errorf("P(>3) empirical = %.4f, want 0.07", more)
+	}
+}
+
+func TestSampleStrikesPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if SampleStrikes(rng, 0) != 0 || SampleStrikes(rng, -1) != 0 {
+		t.Error("nonzero strikes for nonpositive mean")
+	}
+	for _, mean := range []float64{0.5, 5, 50, 5000} {
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(SampleStrikes(rng, mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("Poisson(%v) empirical mean = %v", mean, got)
+		}
+	}
+}
+
+func TestExpectedStrikes(t *testing.T) {
+	p := StrikeProcess{RatePerBitSec: 1e-9, Dist: Dist40nm}
+	got := p.ExpectedStrikes(8*1024*8, 100)
+	want := 1e-9 * 65536 * 100
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedStrikes = %v, want %v", got, want)
+	}
+}
+
+func TestInjectClusterFlipsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	word := ecc.BitsFromUint64(0)
+	for mult := 1; mult <= 8; mult++ {
+		got := InjectCluster(rng, word, 39, mult)
+		if got.OnesCount() != mult {
+			t.Errorf("cluster of %d flipped %d bits", mult, got.OnesCount())
+		}
+	}
+	if got := InjectCluster(rng, word, 39, 0); !got.IsZero() {
+		t.Error("zero multiplicity flipped bits")
+	}
+	if got := InjectCluster(rng, word, 0, 3); !got.IsZero() {
+		t.Error("zero-width word flipped bits")
+	}
+	// Multiplicity larger than the word saturates.
+	if got := InjectCluster(rng, word, 4, 100); got.OnesCount() != 4 {
+		t.Errorf("saturated cluster flipped %d bits, want 4", got.OnesCount())
+	}
+}
+
+func TestInjectClusterAdjacency(t *testing.T) {
+	// Property: the flipped positions form a contiguous run modulo the
+	// word width.
+	rng := rand.New(rand.NewSource(10))
+	f := func(seed int64, multRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		mult := int(multRaw%4) + 2 // 2..5
+		const width = 39
+		got := InjectCluster(r, ecc.BitsFromUint64(0), width, mult)
+		// Find a start such that all flips are start..start+mult-1 mod width.
+		for start := 0; start < width; start++ {
+			ok := true
+			for i := 0; i < mult; i++ {
+				if !got.Get((start + i) % width) {
+					ok = false
+					break
+				}
+			}
+			if ok && got.OnesCount() == mult {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInjectScattered(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	got := InjectScattered(rng, ecc.BitsFromUint64(0), 39, 5)
+	if got.OnesCount() != 5 {
+		t.Errorf("scattered 5 flipped %d bits", got.OnesCount())
+	}
+	if got := InjectScattered(rng, ecc.BitsFromUint64(0), 39, 0); !got.IsZero() {
+		t.Error("zero multiplicity flipped bits")
+	}
+	if got := InjectScattered(rng, ecc.BitsFromUint64(0), 3, 9); got.OnesCount() != 3 {
+		t.Error("scattered saturation failed")
+	}
+}
+
+func TestClassifyStrikeSECDED(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	codec := ecc.MustHamming(32)
+	// Single flips are always DRE.
+	for i := 0; i < 200; i++ {
+		if got := ClassifyStrike(rng, codec, rng.Uint64()&0xffffffff, 1); got != DRE {
+			t.Fatalf("single flip -> %v, want DRE", got)
+		}
+	}
+	// Double flips are always DUE.
+	for i := 0; i < 200; i++ {
+		if got := ClassifyStrike(rng, codec, rng.Uint64()&0xffffffff, 2); got != DUE {
+			t.Fatalf("double flip -> %v, want DUE", got)
+		}
+	}
+	// Triple flips are DUE or SDC, never clean/benign or recovered.
+	for i := 0; i < 500; i++ {
+		got := ClassifyStrike(rng, codec, rng.Uint64()&0xffffffff, 3)
+		if got != DUE && got != SDC {
+			t.Fatalf("triple flip -> %v, want DUE or SDC", got)
+		}
+	}
+}
+
+func TestClassifyStrikeParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	codec, err := ecc.NewParity(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if got := ClassifyStrike(rng, codec, rng.Uint64()&0xffffffff, 1); got != DUE {
+			t.Fatalf("parity single flip -> %v, want DUE", got)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		got := ClassifyStrike(rng, codec, rng.Uint64()&0xffffffff, 2)
+		// Two flips may both land in data (SDC) or one may be the parity
+		// bit itself (still SDC since data changed), unless both flips
+		// hit... any two flips leave parity consistent => undetected.
+		if got != SDC {
+			t.Fatalf("parity double flip -> %v, want SDC", got)
+		}
+	}
+}
+
+func TestCampaignMatchesAnalyticModel(t *testing.T) {
+	// The empirical DRE/DUE rates of a SEC-DED campaign under Dist40nm
+	// must approach the analytic values the paper uses: DRE = P(1),
+	// DUE >= P(2), SDC <= P(>=3) (some >=3-bit strikes are detected, so
+	// the paper's eq. (7) is an upper bound on true SDC).
+	c := Campaign{Codec: ecc.MustHamming(32), Dist: Dist40nm, Seed: 42}
+	tally, err := c.Run(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tally.Rate(DRE); math.Abs(got-0.62) > 0.01 {
+		t.Errorf("DRE rate = %.4f, want ~0.62", got)
+	}
+	if got := tally.Rate(DUE); got < 0.25 {
+		t.Errorf("DUE rate = %.4f, want >= 0.25", got)
+	}
+	if got := tally.Rate(SDC); got > 0.13 {
+		t.Errorf("SDC rate = %.4f, want <= 0.13 (eq. 7 bound)", got)
+	}
+	if got := tally.Rate(DUE) + tally.Rate(SDC); math.Abs(got-0.38) > 0.01 {
+		t.Errorf("DUE+SDC = %.4f, want ~0.38 (ECC vulnerability weight)", got)
+	}
+	if tally.Total() != 100000 {
+		t.Errorf("total = %d", tally.Total())
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	c := Campaign{Codec: ecc.MustHamming(32), Dist: Dist40nm}
+	if _, err := c.Run(0); !errors.Is(err, ErrNoStrikes) {
+		t.Error("zero strikes accepted")
+	}
+	bad := Campaign{Codec: ecc.MustHamming(32), Dist: MBUDistribution{}}
+	if _, err := bad.Run(10); err == nil {
+		t.Error("invalid distribution accepted")
+	}
+}
+
+func TestTally(t *testing.T) {
+	var tl Tally
+	tl.Add(Benign)
+	tl.Add(DRE)
+	tl.Add(DUE)
+	tl.Add(SDC)
+	tl.Add(SDC)
+	if tl.Total() != 5 {
+		t.Errorf("Total = %d", tl.Total())
+	}
+	if tl.Rate(SDC) != 0.4 || tl.Rate(Benign) != 0.2 {
+		t.Error("Rate wrong")
+	}
+	if (Tally{}).Rate(DRE) != 0 {
+		t.Error("empty tally rate not 0")
+	}
+	if Benign.String() != "benign" || DRE.String() != "DRE" ||
+		DUE.String() != "DUE" || SDC.String() != "SDC" {
+		t.Error("outcome stringer wrong")
+	}
+	if Outcome(9).String() != "Outcome(9)" {
+		t.Error("unknown outcome stringer wrong")
+	}
+}
+
+func TestTechNodeDistributionsValidAndTrending(t *testing.T) {
+	nodes := TechNodes()
+	if len(nodes) != 4 || nodes[1].Name != "40nm" {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	prevTail := -1.0
+	for _, n := range nodes {
+		if err := n.Dist.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+		// The defining trend of [6]: the multi-bit tail P(>=2) grows
+		// monotonically as the node shrinks.
+		tail := n.Dist.PAtLeast(2)
+		if tail <= prevTail {
+			t.Errorf("%s: MBU tail %.2f not above previous %.2f", n.Name, tail, prevTail)
+		}
+		prevTail = tail
+	}
+}

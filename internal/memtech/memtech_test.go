@@ -1,0 +1,205 @@
+package memtech
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateBankTableIVLatencies(t *testing.T) {
+	// Latencies must match Table IV exactly.
+	tests := []struct {
+		name  string
+		tech  Technology
+		prot  Protection
+		size  int
+		read  Cycles
+		write Cycles
+	}{
+		{"unprotected SRAM cache", SRAM, Unprotected, 8 * 1024, 1, 1},
+		{"SEC-DED SRAM SPM", SRAM, SECDED, 16 * 1024, 2, 2},
+		{"parity SRAM region", SRAM, Parity, 2 * 1024, 1, 1},
+		{"STT-RAM region", STTRAM, Unprotected, 12 * 1024, 1, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b, err := EstimateBank(tt.tech, tt.prot, tt.size)
+			if err != nil {
+				t.Fatalf("EstimateBank: %v", err)
+			}
+			if b.ReadLatency != tt.read || b.WriteLatency != tt.write {
+				t.Errorf("latency = %d/%d, want %d/%d",
+					b.ReadLatency, b.WriteLatency, tt.read, tt.write)
+			}
+		})
+	}
+}
+
+func TestEstimateBankPaperStaticPowers(t *testing.T) {
+	// Section V: baseline 32 KB SEC-DED SRAM SPM leaks 15.8 mW, the pure
+	// 32 KB STT-RAM SPM 3.0 mW, and FTSPM's Table IV configuration
+	// 7.1 mW. The calibration must reproduce those within 2%.
+	within := func(got, want float64) bool { return math.Abs(got-want)/want < 0.02 }
+
+	iSRAM := MustEstimateBank(SRAM, SECDED, 16*1024)
+	dSRAM := MustEstimateBank(SRAM, SECDED, 16*1024)
+	if got := float64(iSRAM.Leakage + dSRAM.Leakage); !within(got, 15.8) {
+		t.Errorf("baseline SRAM SPM leakage = %.2f mW, want ~15.8", got)
+	}
+
+	iSTT := MustEstimateBank(STTRAM, Unprotected, 16*1024)
+	dSTT := MustEstimateBank(STTRAM, Unprotected, 16*1024)
+	if got := float64(iSTT.Leakage + dSTT.Leakage); !within(got, 3.0) {
+		t.Errorf("pure STT-RAM SPM leakage = %.2f mW, want ~3.0", got)
+	}
+
+	ftspm := iSTT.Leakage +
+		MustEstimateBank(STTRAM, Unprotected, 12*1024).Leakage +
+		MustEstimateBank(SRAM, SECDED, 2*1024).Leakage +
+		MustEstimateBank(SRAM, Parity, 2*1024).Leakage +
+		HybridControllerLeakage
+	if got := float64(ftspm); !within(got, 7.1) {
+		t.Errorf("FTSPM leakage = %.2f mW, want ~7.1", got)
+	}
+}
+
+func TestEstimateBankEnergyOrdering(t *testing.T) {
+	sram := MustEstimateBank(SRAM, SECDED, 16*1024)
+	stt := MustEstimateBank(STTRAM, Unprotected, 16*1024)
+	if stt.ReadEnergy >= sram.ReadEnergy {
+		t.Errorf("STT-RAM read energy %v should be below SEC-DED SRAM read %v (Section V)",
+			stt.ReadEnergy, sram.ReadEnergy)
+	}
+	if stt.WriteEnergy <= 3*sram.WriteEnergy {
+		t.Errorf("STT-RAM write energy %v should be several times SRAM write %v",
+			stt.WriteEnergy, sram.WriteEnergy)
+	}
+}
+
+func TestEstimateBankSmallBanksCheaper(t *testing.T) {
+	big := MustEstimateBank(SRAM, Parity, 16*1024)
+	small := MustEstimateBank(SRAM, Parity, 2*1024)
+	if small.ReadEnergy >= big.ReadEnergy {
+		t.Errorf("2KB bank read %v not cheaper than 16KB %v", small.ReadEnergy, big.ReadEnergy)
+	}
+	wantScale := math.Sqrt(2.0 / 16.0)
+	got := float64(small.ReadEnergy / big.ReadEnergy)
+	if math.Abs(got-wantScale) > 1e-9 {
+		t.Errorf("size scaling = %.4f, want sqrt(2/16)=%.4f", got, wantScale)
+	}
+}
+
+func TestEstimateBankErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		tech Technology
+		prot Protection
+		size int
+		want error
+	}{
+		{"bad tech", Technology(0), Parity, 1024, ErrUnknownTechnology},
+		{"bad prot", SRAM, Protection(9), 1024, ErrUnknownProtection},
+		{"zero size", SRAM, Parity, 0, ErrBadSize},
+		{"negative size", SRAM, Parity, -4, ErrBadSize},
+		{"unaligned size", SRAM, Parity, 1026, ErrBadSize},
+		{"protected STT", STTRAM, SECDED, 1024, ErrSTTProtected},
+		{"parity STT", STTRAM, Parity, 1024, ErrSTTProtected},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := EstimateBank(tt.tech, tt.prot, tt.size); !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestMustEstimateBankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEstimateBank with bad args did not panic")
+		}
+	}()
+	MustEstimateBank(SRAM, Protection(0), 1024)
+}
+
+func TestAccessEnergyAndLatency(t *testing.T) {
+	b := MustEstimateBank(SRAM, SECDED, 16*1024)
+	if got := b.AccessEnergy(4, false); got != b.ReadEnergy {
+		t.Errorf("1-word read energy = %v, want %v", got, b.ReadEnergy)
+	}
+	if got := b.AccessEnergy(8, true); got != 2*b.WriteEnergy {
+		t.Errorf("2-word write energy = %v, want %v", got, 2*b.WriteEnergy)
+	}
+	// Partial words round up.
+	if got := b.AccessEnergy(5, false); got != 2*b.ReadEnergy {
+		t.Errorf("5-byte read energy = %v, want 2 words", got)
+	}
+	if got := b.AccessEnergy(0, false); got != 0 {
+		t.Errorf("0-byte access energy = %v, want 0", got)
+	}
+	if got := b.AccessLatency(4, false); got != 2 {
+		t.Errorf("1-word read latency = %d, want 2", got)
+	}
+	// Pipelined burst: first word full latency, then 1 cycle per word.
+	if got := b.AccessLatency(16, true); got != 2+3 {
+		t.Errorf("4-word write latency = %d, want 5", got)
+	}
+	if got := b.AccessLatency(0, true); got != 0 {
+		t.Errorf("0-byte latency = %d, want 0", got)
+	}
+}
+
+func TestWordsIn(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 0}, {-3, 0}, {1, 1}, {4, 1}, {5, 2}, {8, 2}, {2048, 512},
+	}
+	for _, tt := range tests {
+		if got := WordsIn(tt.n); got != tt.want {
+			t.Errorf("WordsIn(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestStaticEnergy(t *testing.T) {
+	// 10 mW over 1e9 cycles at 1 GHz = 10 mW × 1 s = 10 mJ.
+	got := StaticEnergy(10, Cycles(1e9))
+	if math.Abs(float64(got)-10) > 1e-9 {
+		t.Errorf("StaticEnergy = %v, want 10 mJ", got)
+	}
+}
+
+func TestBankMonotonicityProperty(t *testing.T) {
+	// Property: for any valid size, energy and leakage are positive and
+	// monotonically non-decreasing in size.
+	f := func(kb8 uint8) bool {
+		size := (int(kb8%63) + 1) * 1024
+		a := MustEstimateBank(SRAM, SECDED, size)
+		b := MustEstimateBank(SRAM, SECDED, size+1024)
+		return a.ReadEnergy > 0 && a.Leakage > 0 &&
+			b.ReadEnergy >= a.ReadEnergy && b.Leakage >= a.Leakage
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SRAM.String() != "SRAM" || STTRAM.String() != "STT-RAM" {
+		t.Error("technology stringer wrong")
+	}
+	if Technology(7).String() != "Technology(7)" {
+		t.Error("unknown technology stringer wrong")
+	}
+	if Parity.String() != "parity" || SECDED.String() != "SEC-DED" || Unprotected.String() != "unprotected" {
+		t.Error("protection stringer wrong")
+	}
+	if Protection(7).String() != "Protection(7)" {
+		t.Error("unknown protection stringer wrong")
+	}
+	b := MustEstimateBank(SRAM, Parity, 2*1024)
+	if b.String() == "" {
+		t.Error("bank stringer empty")
+	}
+}

@@ -1,0 +1,233 @@
+package profile
+
+import (
+	"errors"
+	"testing"
+
+	"ftspm/internal/program"
+	"ftspm/internal/trace"
+	"ftspm/internal/workloads"
+)
+
+// tinyProgram builds a two-block program with a hand-written trace whose
+// profile is fully predictable.
+func tinyProgram(t *testing.T) (*program.Program, []trace.Event) {
+	t.Helper()
+	p := program.New("tiny")
+	fn := p.MustAddBlock("Fn", program.CodeBlock, 256)
+	arr := p.MustAddBlock("Arr", program.DataBlock, 256)
+	stk := p.MustAddBlock("Stk", program.StackBlock, 128)
+	addr := func(id program.BlockID, off int) uint32 {
+		a, err := p.AddrOf(id, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	evs := []trace.Event{
+		// Fetch 2 words of Fn (think 3): cycles 3+2 → now=5.
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Code, Addr: addr(fn, 0), Size: 8, Think: 3}),
+		// Call with a 64-byte frame: now=6, depth 64, attributed to Fn.
+		trace.CallEvent(64),
+		// Write 1 word of Arr: now=7.
+		trace.AccessEvent(trace.Access{Op: trace.Write, Space: trace.Data, Addr: addr(arr, 0), Size: 4}),
+		// Read 2 words of Arr: now=9.
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addr(arr, 4), Size: 8}),
+		// Touch the stack: ends Arr's first activation at now=9 → starts
+		// Stk; write 1 word: now=10.
+		trace.AccessEvent(trace.Access{Op: trace.Write, Space: trace.Data, Addr: addr(stk, 0), Size: 4}),
+		// Return: now=11.
+		trace.ReturnEvent(),
+		// Back to Arr (second activation): read 1 word, now=12.
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addr(arr, 8), Size: 4}),
+	}
+	return p, evs
+}
+
+func TestRunTinyTrace(t *testing.T) {
+	p, evs := tinyProgram(t)
+	prof, err := Run(p, trace.NewSliceStream(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.ExecCycles != 12 {
+		t.Errorf("ExecCycles = %d, want 12", prof.ExecCycles)
+	}
+
+	fn, err := prof.ByName("Fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Reads != 1 || fn.Writes != 0 || fn.ReadWords != 2 {
+		t.Errorf("Fn counts = %+v", fn)
+	}
+	if fn.StackCalls != 1 || fn.MaxStackBytes != 64 {
+		t.Errorf("Fn stack stats = %d calls / %d bytes", fn.StackCalls, fn.MaxStackBytes)
+	}
+	if fn.References != 1 {
+		t.Errorf("Fn references = %d", fn.References)
+	}
+	// Fn's activation starts when its first access issues (after think,
+	// at cycle 3) and spans the rest of the trace (no other code block).
+	if fn.Lifetime != 12-3 {
+		t.Errorf("Fn lifetime = %d, want 9", fn.Lifetime)
+	}
+
+	arr, err := prof.ByName("Arr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Reads != 2 || arr.Writes != 1 || arr.ReadWords != 3 || arr.WriteWords != 1 {
+		t.Errorf("Arr counts = %+v", arr)
+	}
+	if arr.References != 2 {
+		t.Errorf("Arr references = %d, want 2 (stack access split the run)", arr.References)
+	}
+	// First activation: starts at now=6 (before first Arr access),
+	// closed by the Stk access at now=9 → 3 cycles. Second activation:
+	// starts at 11, still open at end (12) → 1 cycle.
+	if arr.Lifetime != 4 {
+		t.Errorf("Arr lifetime = %d, want 4", arr.Lifetime)
+	}
+	if arr.FirstCycle != 7 || arr.LastCycle != 12 {
+		t.Errorf("Arr span = [%d,%d], want [7,12]", arr.FirstCycle, arr.LastCycle)
+	}
+	if arr.Span() != 5 {
+		t.Errorf("Arr Span = %d", arr.Span())
+	}
+	if arr.AvgReadsPerRef() != 1.0 || arr.AvgWritesPerRef() != 0.5 {
+		t.Errorf("Arr per-ref averages = %v/%v", arr.AvgReadsPerRef(), arr.AvgWritesPerRef())
+	}
+	if arr.Accesses() != 3 {
+		t.Errorf("Arr Accesses = %d", arr.Accesses())
+	}
+	if got := arr.Susceptibility(); got != 3*4 {
+		t.Errorf("Arr susceptibility = %v, want 12", got)
+	}
+
+	stk, err := prof.ByName("Stk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stk.References != 1 || stk.Writes != 1 {
+		t.Errorf("Stk = %+v", stk)
+	}
+	if prof.TotalDataReads != 2 || prof.TotalDataWrites != 2 {
+		t.Errorf("totals = %d/%d", prof.TotalDataReads, prof.TotalDataWrites)
+	}
+
+	// ACE: Arr live for 5 of 12 cycles.
+	if got := prof.ACE(arr.Block.ID); got < 0.41 || got > 0.42 {
+		t.Errorf("ACE(Arr) = %v", got)
+	}
+	if prof.ACE(program.BlockID(-1)) != 0 || prof.ACE(program.BlockID(99)) != 0 {
+		t.Error("ACE out-of-range not 0")
+	}
+}
+
+func TestRunRejectsUnresolvedAccess(t *testing.T) {
+	p := program.New("x")
+	p.MustAddBlock("A", program.DataBlock, 64)
+	evs := []trace.Event{
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: 0xdead_0000, Size: 4}),
+	}
+	if _, err := Run(p, trace.NewSliceStream(evs)); !errors.Is(err, ErrUnresolvedAccess) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRejectsUnknownKind(t *testing.T) {
+	p := program.New("x")
+	p.MustAddBlock("A", program.DataBlock, 64)
+	evs := []trace.Event{{Kind: trace.Kind(42)}}
+	if _, err := Run(p, trace.NewSliceStream(evs)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := program.New("empty")
+	id := p.MustAddBlock("A", program.DataBlock, 64)
+	prof, err := Run(p, trace.NewSliceStream(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.ExecCycles != 0 || prof.Blocks[id].References != 0 {
+		t.Error("empty trace produced nonzero profile")
+	}
+	if prof.ACE(id) != 0 {
+		t.Error("ACE on empty profile not 0")
+	}
+	bp := prof.Blocks[id]
+	if bp.AvgReadsPerRef() != 0 || bp.AvgWritesPerRef() != 0 || bp.Susceptibility() != 0 {
+		t.Error("zero-division guards failed")
+	}
+}
+
+func TestSpanNeverNegative(t *testing.T) {
+	b := BlockProfile{FirstCycle: 10, LastCycle: 5}
+	if b.Span() != 0 {
+		t.Error("inverted span not clamped")
+	}
+}
+
+func TestCaseStudyProfileShape(t *testing.T) {
+	// The profile of the case-study workload must reproduce the ordering
+	// relations of Table I that drive the MDA decisions.
+	w := workloads.CaseStudy()
+	prof, err := Run(w.Program(), w.Trace(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) BlockProfile {
+		bp, err := prof.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bp
+	}
+
+	arr1, arr2 := get("Array1"), get("Array2")
+	arr3, arr4 := get("Array3"), get("Array4")
+	stack := get("Stack")
+	mul, add := get("Mul"), get("Add")
+
+	// Write-intensity ordering: Array1/3 and Stack write-hot; Array2/4
+	// nearly write-free.
+	for _, hot := range []BlockProfile{arr1, arr3, stack} {
+		if hot.Writes*20 < hot.Reads {
+			t.Errorf("%s should be write-hot: %d w / %d r", hot.Block.Name, hot.Writes, hot.Reads)
+		}
+	}
+	for _, cold := range []BlockProfile{arr2, arr4} {
+		if cold.Writes*50 > cold.Reads {
+			t.Errorf("%s should be read-mostly: %d w / %d r", cold.Block.Name, cold.Writes, cold.Reads)
+		}
+	}
+
+	// Susceptibility ordering (drives Table II): the stack must be less
+	// susceptible than the write-hot arrays (tiny activations), so it
+	// lands in the parity region while Array1/3 take ECC.
+	if stack.Susceptibility() >= arr1.Susceptibility() ||
+		stack.Susceptibility() >= arr3.Susceptibility() {
+		t.Errorf("stack susceptibility %.0f must be below Array1 %.0f / Array3 %.0f",
+			stack.Susceptibility(), arr1.Susceptibility(), arr3.Susceptibility())
+	}
+
+	// Mul is the hottest code block and its per-reference read burst is
+	// the largest (Table I: 40,710 per reference).
+	if mul.Reads <= add.Reads {
+		t.Error("Mul must out-read Add")
+	}
+	if mul.StackCalls == 0 {
+		t.Error("Mul should accumulate stack calls")
+	}
+	if stack.Lifetime >= arr1.Lifetime {
+		t.Error("stack lifetime should be far below Array1's")
+	}
+	// Stack ACE must be small relative to the arrays' (drives the low
+	// parity-region contribution in the AVF model).
+	if prof.ACE(stack.Block.ID) > prof.ACE(arr1.Block.ID) {
+		t.Error("stack ACE exceeds Array1 ACE")
+	}
+}

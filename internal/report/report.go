@@ -1,0 +1,196 @@
+// Package report renders experiment results as aligned text tables and
+// CSV files — the textual equivalents of the paper's tables and figure
+// series.
+package report
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	// Title is printed above the grid.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows hold the body cells; ragged rows are padded when rendered.
+	Rows [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// ErrNoColumns rejects rendering a table without headers.
+var ErrNoColumns = errors.New("report: table has no columns")
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return ErrNoColumns
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width, cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i, width := range widths {
+		sep[i] = strings.Repeat("-", width)
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string (empty on error).
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// RenderCSV writes the table in CSV form (title omitted).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return ErrNoColumns
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Columns))
+		copy(padded, row)
+		if err := cw.Write(padded); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Float formats a float with the given number of decimals, rendering
+// infinities and NaNs readably.
+func Float(v float64, decimals int) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "n/a"
+	default:
+		return fmt.Sprintf("%.*f", decimals, v)
+	}
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return Float(v, 0)
+	}
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+// Count formats an integer with thousands separators.
+func Count(n int) string {
+	s := fmt.Sprintf("%d", n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+// Energy formats picojoules with an adaptive unit.
+func Energy(pj float64) string {
+	switch {
+	case math.Abs(pj) >= 1e9:
+		return fmt.Sprintf("%.3f mJ", pj/1e9)
+	case math.Abs(pj) >= 1e6:
+		return fmt.Sprintf("%.2f uJ", pj/1e6)
+	case math.Abs(pj) >= 1e3:
+		return fmt.Sprintf("%.2f nJ", pj/1e3)
+	default:
+		return fmt.Sprintf("%.2f pJ", pj)
+	}
+}
+
+// GeoMean returns the geometric mean of positive values; zero or
+// negative entries are skipped. It is the aggregate used for ratio
+// summaries (arithmetic means of ratios are dominated by outliers).
+func GeoMean(values []float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range values {
+		if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("Title", "A", "BB")
+	tb.AddRow("x", "y")
+	tb.AddRow("longer", "z", "extra-ignored-column-cell")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[2], "--") {
+		t.Error("header/separator wrong")
+	}
+	// Alignment: column B starts at the same offset in every row.
+	if strings.Index(lines[1], "BB") != strings.Index(lines[3], "y") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if tb.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestTableRenderErrors(t *testing.T) {
+	tb := &Table{}
+	if err := tb.Render(&bytes.Buffer{}); err != ErrNoColumns {
+		t.Errorf("err = %v", err)
+	}
+	if err := tb.RenderCSV(&bytes.Buffer{}); err != ErrNoColumns {
+		t.Errorf("csv err = %v", err)
+	}
+	if tb.String() != "" {
+		t.Error("String on bad table not empty")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := New("ignored", "a", "b")
+	tb.AddRow("1")
+	tb.AddRow("2", "3,with comma")
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\n2,\"3,with comma\"\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Float(1.2345, 2) != "1.23" {
+		t.Error("Float")
+	}
+	if Float(math.Inf(1), 2) != "inf" || Float(math.Inf(-1), 0) != "-inf" || Float(math.NaN(), 1) != "n/a" {
+		t.Error("Float special values")
+	}
+	if Pct(0.4567) != "45.7%" {
+		t.Errorf("Pct = %s", Pct(0.4567))
+	}
+	if Pct(math.NaN()) != "n/a" {
+		t.Error("Pct NaN")
+	}
+	if Count(1234567) != "1,234,567" || Count(12) != "12" || Count(-4321) != "-4,321" || Count(0) != "0" {
+		t.Error("Count")
+	}
+	if Energy(12.3) != "12.30 pJ" || Energy(4500) != "4.50 nJ" ||
+		Energy(7.2e6) != "7.20 uJ" || Energy(3.1e9) != "3.100 mJ" {
+		t.Errorf("Energy: %s %s %s %s", Energy(12.3), Energy(4500), Energy(7.2e6), Energy(3.1e9))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	// Skips non-positive and non-finite values.
+	if got := GeoMean([]float64{2, 8, 0, -1, math.Inf(1), math.NaN()}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean with junk = %v", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0}) != 0 {
+		t.Error("empty GeoMean not 0")
+	}
+}

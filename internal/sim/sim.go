@@ -1,0 +1,331 @@
+// Package sim is the reproduction's substitute for FaCSim [25]: a
+// trace-driven, cycle-accounting simulator of the evaluated platform —
+// an in-order embedded core front end with split L1 caches, split
+// instruction/data SPMs with an on-line mapping controller, and off-chip
+// memory. FTSPM's results depend on the memory-access stream and the
+// per-access latency/energy of each structure, which this model charges
+// exactly; the ARM pipeline itself is orthogonal (DESIGN.md §2).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ftspm/internal/cache"
+	"ftspm/internal/dram"
+	"ftspm/internal/faults"
+	"ftspm/internal/memtech"
+	"ftspm/internal/program"
+	"ftspm/internal/schedule"
+	"ftspm/internal/spm"
+	"ftspm/internal/trace"
+)
+
+// Config assembles a machine.
+type Config struct {
+	// ISPM and DSPM size the two scratchpads (Table IV rows).
+	ISPM, DSPM []spm.RegionConfig
+	// ExtraLeakage is structure-level controller leakage added to the
+	// data SPM (memtech.HybridControllerLeakage for FTSPM, 0 for the
+	// single-region baselines).
+	ExtraLeakage memtech.Milliwatts
+	// Placement assigns mapped blocks (code and data) to region kinds.
+	Placement spm.Placement
+	// ICache and DCache configure the L1s behind unmapped blocks.
+	ICache, DCache cache.Config
+	// DRAM configures the off-chip memory.
+	DRAM dram.Config
+	// Injection, when non-nil, lands particle strikes on the data SPM
+	// during execution (live fault-injection campaigns).
+	Injection *InjectionConfig
+}
+
+// InjectionConfig parameterizes live fault injection.
+type InjectionConfig struct {
+	// StrikesPerAccess is the probability of one strike landing on the
+	// data SPM before each memory access (compressed time: real flux is
+	// far lower, but vulnerability ratios are rate-invariant).
+	StrikesPerAccess float64
+	// Dist gives the strike multiplicities (use faults.Dist40nm).
+	Dist faults.MBUDistribution
+	// Seed makes the campaign reproducible.
+	Seed int64
+}
+
+// DefaultPlatform fills the non-SPM parts of a Config with the Table IV
+// platform: two 8 KB unprotected-SRAM L1s and the default off-chip
+// memory.
+func DefaultPlatform() Config {
+	return Config{
+		ICache: cache.DefaultL1(),
+		DCache: cache.DefaultL1(),
+		DRAM:   dram.Default(),
+	}
+}
+
+// Result reports one simulated execution.
+type Result struct {
+	// Cycles is the total execution time.
+	Cycles memtech.Cycles
+	// ThinkCycles is the compute (non-memory) share of Cycles.
+	ThinkCycles memtech.Cycles
+	// SPMDynamicEnergy is the dynamic energy spent in both SPMs,
+	// including the region side of DMA transfers.
+	SPMDynamicEnergy memtech.Picojoules
+	// SPMStaticEnergy is SPM leakage integrated over the execution.
+	SPMStaticEnergy memtech.Millijoules
+	// SPMLeakage is the static power of both SPMs.
+	SPMLeakage memtech.Milliwatts
+	// CacheEnergy and DRAMEnergy are charged outside the SPMs.
+	CacheEnergy memtech.Picojoules
+	DRAMEnergy  memtech.Picojoules
+	// ICtl and DCtl are the controller tallies (on-line phase activity
+	// and the per-region access distribution of Figs. 2 and 4).
+	ICtl, DCtl spm.ControllerStats
+	// ICacheStats and DCacheStats report the cache behaviour of
+	// unmapped blocks.
+	ICacheStats, DCacheStats cache.Stats
+	// DRAMStats reports off-chip traffic.
+	DRAMStats dram.Stats
+	// Accesses counts simulated memory accesses.
+	Accesses uint64
+	// DataRegionStats aggregates the raw region counters of the data
+	// SPM by kind (DMA traffic included), for post-run analyses such as
+	// the retention-relaxation study.
+	DataRegionStats map[spm.RegionKind]spm.RegionStats
+	// InjectedStrikes counts the particle strikes landed during the run
+	// (zero unless Config.Injection was set).
+	InjectedStrikes uint64
+}
+
+// TotalDynamicEnergy sums SPM, cache, and DRAM dynamic energy.
+func (r Result) TotalDynamicEnergy() memtech.Picojoules {
+	return r.SPMDynamicEnergy + r.CacheEnergy + r.DRAMEnergy
+}
+
+// Machine is an assembled platform ready to execute traces.
+type Machine struct {
+	cfg    Config
+	prog   *program.Program
+	iCache *cache.Cache
+	dCache *cache.Cache
+	mem    *dram.Memory
+	iSPM   *spm.SPM
+	dSPM   *spm.SPM
+	iCtl   *spm.Controller
+	dCtl   *spm.Controller
+}
+
+// ErrNilProgram rejects machine construction without a program image.
+var ErrNilProgram = errors.New("sim: program must not be nil")
+
+// New assembles a machine for the program. The placement is split
+// between the instruction and data controllers by block kind.
+func New(prog *program.Program, cfg Config) (*Machine, error) {
+	if prog == nil {
+		return nil, ErrNilProgram
+	}
+	m := &Machine{cfg: cfg, prog: prog}
+	var err error
+	if m.iCache, err = cache.New(cfg.ICache); err != nil {
+		return nil, fmt.Errorf("sim: icache: %w", err)
+	}
+	if m.dCache, err = cache.New(cfg.DCache); err != nil {
+		return nil, fmt.Errorf("sim: dcache: %w", err)
+	}
+	if m.mem, err = dram.New(cfg.DRAM); err != nil {
+		return nil, fmt.Errorf("sim: dram: %w", err)
+	}
+	if m.iSPM, err = spm.New(0, cfg.ISPM...); err != nil {
+		return nil, fmt.Errorf("sim: ispm: %w", err)
+	}
+	if m.dSPM, err = spm.New(cfg.ExtraLeakage, cfg.DSPM...); err != nil {
+		return nil, fmt.Errorf("sim: dspm: %w", err)
+	}
+
+	iPlace := make(spm.Placement)
+	dPlace := make(spm.Placement)
+	for id, kind := range cfg.Placement {
+		b, err := prog.Block(id)
+		if err != nil {
+			return nil, fmt.Errorf("sim: placement: %w", err)
+		}
+		if b.Kind == program.CodeBlock {
+			iPlace[id] = kind
+		} else {
+			dPlace[id] = kind
+		}
+	}
+	if m.iCtl, err = spm.NewController(m.iSPM, prog, iPlace, m.mem); err != nil {
+		return nil, fmt.Errorf("sim: i-controller: %w", err)
+	}
+	if m.dCtl, err = spm.NewController(m.dSPM, prog, dPlace, m.mem); err != nil {
+		return nil, fmt.Errorf("sim: d-controller: %w", err)
+	}
+	return m, nil
+}
+
+// DataSPM exposes the data scratchpad for post-run analysis (endurance
+// write counters, fault injection).
+func (m *Machine) DataSPM() *spm.SPM { return m.dSPM }
+
+// InstSPM exposes the instruction scratchpad.
+func (m *Machine) InstSPM() *spm.SPM { return m.iSPM }
+
+// Run executes the trace to completion and returns the accounting. A
+// machine accumulates state across calls (caches stay warm, blocks stay
+// resident); use a fresh Machine per measured run.
+func (m *Machine) Run(s trace.Stream) (Result, error) {
+	return m.run(s, nil)
+}
+
+// RunWithPlan executes the trace with scheduled SPM transfers: before
+// the i-th access event, every plan command at position i is executed
+// (unmaps, then loads, in plan order). Accesses to blocks the plan
+// failed to make resident fall back to the on-demand path, so a plan
+// affects cost, never correctness.
+func (m *Machine) RunWithPlan(s trace.Stream, plan *schedule.Plan) (Result, error) {
+	return m.run(s, plan)
+}
+
+func (m *Machine) run(s trace.Stream, plan *schedule.Plan) (Result, error) {
+	var res Result
+	accessIdx := 0
+	planPos := 0
+	var strikeRNG *rand.Rand
+	if m.cfg.Injection != nil && m.cfg.Injection.StrikesPerAccess > 0 {
+		if err := m.cfg.Injection.Dist.Validate(); err != nil {
+			return Result{}, fmt.Errorf("sim: injection: %w", err)
+		}
+		strikeRNG = rand.New(rand.NewSource(m.cfg.Injection.Seed))
+	}
+	for {
+		e, ok := s.Next()
+		if !ok {
+			break
+		}
+		switch e.Kind {
+		case trace.KindCall, trace.KindReturn:
+			res.Cycles++
+		case trace.KindAccess:
+			if plan != nil {
+				for planPos < len(plan.Commands) && plan.Commands[planPos].AtAccess <= accessIdx {
+					cycles, err := m.applyCommand(plan.Commands[planPos])
+					if err != nil {
+						return Result{}, err
+					}
+					res.Cycles += cycles
+					planPos++
+				}
+			}
+			accessIdx++
+			if strikeRNG != nil && strikeRNG.Float64() < m.cfg.Injection.StrikesPerAccess {
+				if _, err := m.dSPM.InjectStrike(strikeRNG, m.cfg.Injection.Dist); err != nil {
+					return Result{}, fmt.Errorf("sim: injection: %w", err)
+				}
+				res.InjectedStrikes++
+			}
+			a := e.Access
+			res.Cycles += memtech.Cycles(a.Think)
+			res.ThinkCycles += memtech.Cycles(a.Think)
+			res.Accesses++
+			cycles, err := m.access(a)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Cycles += cycles
+		default:
+			return Result{}, fmt.Errorf("sim: unknown event kind %v", e.Kind)
+		}
+	}
+
+	// Drain dirty cache lines so every structure has written its state
+	// back (end-of-program flush, charged to the run).
+	dirtyWords := m.dCache.Flush()
+	if dirtyWords > 0 {
+		cycles, _ := m.mem.Burst(dirtyWords, true)
+		res.Cycles += cycles
+	}
+
+	res.SPMDynamicEnergy = m.iSPM.DynamicEnergy() + m.dSPM.DynamicEnergy()
+	res.SPMLeakage = m.iSPM.Leakage() + m.dSPM.Leakage()
+	res.SPMStaticEnergy = memtech.StaticEnergy(res.SPMLeakage, res.Cycles)
+	res.ICacheStats = m.iCache.Stats()
+	res.DCacheStats = m.dCache.Stats()
+	res.CacheEnergy = res.ICacheStats.EnergyPicojoules + res.DCacheStats.EnergyPicojoules
+	res.DRAMStats = m.mem.Stats()
+	res.DRAMEnergy = res.DRAMStats.EnergyPicojoules
+	res.ICtl = m.iCtl.Stats()
+	res.DCtl = m.dCtl.Stats()
+	res.DataRegionStats = make(map[spm.RegionKind]spm.RegionStats)
+	for _, r := range m.dSPM.Regions() {
+		agg := res.DataRegionStats[r.Kind()]
+		st := r.Stats()
+		agg.ReadAccesses += st.ReadAccesses
+		agg.WriteAccesses += st.WriteAccesses
+		agg.WordsRead += st.WordsRead
+		agg.WordsWritten += st.WordsWritten
+		agg.Energy += st.Energy
+		agg.CorrectedErrors += st.CorrectedErrors
+		agg.DetectedErrors += st.DetectedErrors
+		agg.SilentReads += st.SilentReads
+		res.DataRegionStats[r.Kind()] = agg
+	}
+	return res, nil
+}
+
+// applyCommand executes one scheduled transfer command on the
+// controller owning the block's address space.
+func (m *Machine) applyCommand(cmd schedule.Command) (memtech.Cycles, error) {
+	b, err := m.prog.Block(cmd.Block)
+	if err != nil {
+		return 0, fmt.Errorf("sim: plan: %w", err)
+	}
+	ctl := m.dCtl
+	if b.Kind == program.CodeBlock {
+		ctl = m.iCtl
+	}
+	if cmd.Load {
+		return ctl.MapIn(cmd.Block)
+	}
+	return ctl.Unmap(cmd.Block)
+}
+
+// access routes one memory access to the SPM controller of its space or,
+// for unmapped blocks, through the cache hierarchy.
+func (m *Machine) access(a trace.Access) (memtech.Cycles, error) {
+	id, ok := m.prog.FindAddr(a.Addr)
+	if !ok {
+		return 0, fmt.Errorf("sim: access at %#x outside all blocks", a.Addr)
+	}
+	b, err := m.prog.Block(id)
+	if err != nil {
+		return 0, err
+	}
+	ctl, l1 := m.dCtl, m.dCache
+	if a.Space == trace.Code {
+		ctl, l1 = m.iCtl, m.iCache
+	}
+
+	if ctl.IsMapped(id) {
+		cost, err := ctl.Access(id, int(a.Addr-b.Addr), a.Size, a.Op == trace.Write)
+		if err != nil {
+			return 0, err
+		}
+		return cost.Cycles, nil
+	}
+
+	// Cache path: array access plus any off-chip fill/write-back.
+	r := l1.Access(a.Addr, a.Size, a.Op == trace.Write)
+	cycles := r.Cycles
+	if r.WritebackWords > 0 {
+		c, _ := m.mem.Burst(r.WritebackWords, true)
+		cycles += c
+	}
+	if r.FillWords > 0 {
+		c, _ := m.mem.Burst(r.FillWords, false)
+		cycles += c
+	}
+	return cycles, nil
+}

@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"ftspm/internal/memtech"
+	"ftspm/internal/profile"
+	"ftspm/internal/program"
+	"ftspm/internal/schedule"
+	"ftspm/internal/spm"
+	"ftspm/internal/trace"
+	"ftspm/internal/workloads"
+)
+
+func tinyMachine(t *testing.T, place spm.Placement, prog *program.Program) *Machine {
+	t.Helper()
+	cfg := DefaultPlatform()
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 4 * 1024}}
+	cfg.DSPM = []spm.RegionConfig{
+		{Kind: spm.RegionSTT, SizeBytes: 2 * 1024},
+		{Kind: spm.RegionParity, SizeBytes: 1 * 1024},
+	}
+	cfg.Placement = place
+	m, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultPlatform()); !errors.Is(err, ErrNilProgram) {
+		t.Error("nil program accepted")
+	}
+	p := program.New("x")
+	cfg := DefaultPlatform()
+	if _, err := New(p, cfg); err == nil {
+		t.Error("empty SPM config accepted")
+	}
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 1024}}
+	cfg.DSPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 1024}}
+	cfg.Placement = spm.Placement{program.BlockID(5): spm.RegionSTT}
+	if _, err := New(p, cfg); err == nil {
+		t.Error("placement with phantom block accepted")
+	}
+}
+
+func TestRunRoutesMappedAndUnmapped(t *testing.T) {
+	p := program.New("route")
+	code := p.MustAddBlock("Code", program.CodeBlock, 512)
+	hot := p.MustAddBlock("Hot", program.DataBlock, 512)
+	cold := p.MustAddBlock("Cold", program.DataBlock, 512) // unmapped
+	m := tinyMachine(t, spm.Placement{
+		code: spm.RegionSTT,
+		hot:  spm.RegionSTT,
+	}, p)
+
+	addr := func(id program.BlockID, off int) uint32 {
+		a, err := p.AddrOf(id, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	evs := []trace.Event{
+		trace.CallEvent(32),
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Code, Addr: addr(code, 0), Size: 16, Think: 2}),
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addr(hot, 0), Size: 4}),
+		trace.AccessEvent(trace.Access{Op: trace.Write, Space: trace.Data, Addr: addr(hot, 4), Size: 4}),
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addr(cold, 0), Size: 4}),
+		trace.ReturnEvent(),
+	}
+	res, err := m.Run(trace.NewSliceStream(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 4 {
+		t.Errorf("Accesses = %d", res.Accesses)
+	}
+	if res.ThinkCycles != 2 {
+		t.Errorf("ThinkCycles = %d", res.ThinkCycles)
+	}
+	// Mapped traffic shows up in the controllers.
+	if res.ICtl.PerKind[spm.RegionSTT].Reads != 1 {
+		t.Errorf("I-SPM reads = %+v", res.ICtl.PerKind)
+	}
+	if res.DCtl.PerKind[spm.RegionSTT].Reads != 1 || res.DCtl.PerKind[spm.RegionSTT].Writes != 1 {
+		t.Errorf("D-SPM counts = %+v", res.DCtl.PerKind[spm.RegionSTT])
+	}
+	if res.DCtl.MapIns != 1 || res.ICtl.MapIns != 1 {
+		t.Errorf("MapIns = %d/%d", res.ICtl.MapIns, res.DCtl.MapIns)
+	}
+	// Unmapped traffic goes through the D-cache and DRAM.
+	if res.DCacheStats.Misses == 0 {
+		t.Error("cold block never missed the cache")
+	}
+	if res.DRAMStats.WordsRead == 0 {
+		t.Error("no DRAM fill traffic")
+	}
+	if res.Cycles == 0 || res.SPMDynamicEnergy <= 0 || res.SPMStaticEnergy <= 0 {
+		t.Error("missing accounting")
+	}
+	if res.TotalDynamicEnergy() <= res.SPMDynamicEnergy {
+		t.Error("total energy must include cache+DRAM")
+	}
+	if res.SPMLeakage <= 0 {
+		t.Error("no leakage reported")
+	}
+}
+
+func TestRunDirtyCacheFlushed(t *testing.T) {
+	p := program.New("flush")
+	blk := p.MustAddBlock("W", program.DataBlock, 64)
+	m := tinyMachine(t, spm.Placement{}, p)
+	a, err := p.AddrOf(blk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []trace.Event{
+		trace.AccessEvent(trace.Access{Op: trace.Write, Space: trace.Data, Addr: a, Size: 4}),
+	}
+	res, err := m.Run(trace.NewSliceStream(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMStats.WordsWritten == 0 {
+		t.Error("dirty line not flushed at end of run")
+	}
+}
+
+func TestRunRejectsStrayAccess(t *testing.T) {
+	p := program.New("stray")
+	p.MustAddBlock("A", program.DataBlock, 64)
+	m := tinyMachine(t, spm.Placement{}, p)
+	evs := []trace.Event{
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: 0x0dead000, Size: 4}),
+	}
+	if _, err := m.Run(trace.NewSliceStream(evs)); err == nil {
+		t.Error("stray access accepted")
+	}
+	evs = []trace.Event{{Kind: trace.Kind(77)}}
+	if _, err := m.Run(trace.NewSliceStream(evs)); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+func TestSTTWritePenaltyVisible(t *testing.T) {
+	// The same write-heavy trace must take longer on an STT-RAM-mapped
+	// block than on a parity-SRAM-mapped one (10 vs 1 cycle writes).
+	p := program.New("penalty")
+	blk := p.MustAddBlock("B", program.DataBlock, 512)
+	a, err := p.AddrOf(blk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []trace.Event
+	for i := 0; i < 200; i++ {
+		evs = append(evs, trace.AccessEvent(trace.Access{
+			Op: trace.Write, Space: trace.Data, Addr: a + uint32(i*4)%512, Size: 4,
+		}))
+	}
+	run := func(kind spm.RegionKind) memtech.Cycles {
+		m := tinyMachine(t, spm.Placement{blk: kind}, p)
+		res, err := m.Run(trace.NewSliceStream(evs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	stt := run(spm.RegionSTT)
+	par := run(spm.RegionParity)
+	if stt <= par {
+		t.Errorf("STT run (%d cycles) not slower than parity run (%d)", stt, par)
+	}
+	// ~9 extra cycles on each of 200 writes, minus transfer noise.
+	if diff := stt - par; diff < 1500 {
+		t.Errorf("write penalty only %d cycles over 200 writes", diff)
+	}
+}
+
+func TestMachineSPMAccessors(t *testing.T) {
+	p := program.New("acc")
+	m := tinyMachine(t, spm.Placement{}, p)
+	if m.DataSPM() == nil || m.InstSPM() == nil {
+		t.Fatal("nil SPM accessor")
+	}
+	if m.DataSPM().TotalBytes() != 3*1024 || m.InstSPM().TotalBytes() != 4*1024 {
+		t.Error("accessors return wrong SPMs")
+	}
+}
+
+func TestEndToEndCaseStudyRuns(t *testing.T) {
+	// Full pipeline smoke test: profile the case study, map nothing
+	// (all-cache) vs map-all-to-STT, and verify the machine completes
+	// with self-consistent accounting.
+	w := workloads.CaseStudy()
+	prof, err := profile.Run(w.Program(), w.Trace(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := spm.Placement{}
+	for _, bp := range prof.Blocks {
+		if bp.Block.Kind.IsData() && bp.Block.Size <= 12*1024 {
+			place[bp.Block.ID] = spm.RegionSTT
+		}
+	}
+	cfg := DefaultPlatform()
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 16 * 1024}}
+	cfg.DSPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 16 * 1024}}
+	cfg.Placement = place
+	m, err := New(w.Program(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(w.Trace(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < memtech.Cycles(res.Accesses) {
+		t.Error("cycles below access count")
+	}
+	// The data SPM must have accumulated write wear for endurance
+	// analysis.
+	stt, ok := m.DataSPM().RegionByKind(spm.RegionSTT)
+	if !ok || stt.MaxWriteCount() == 0 {
+		t.Error("no write wear recorded")
+	}
+}
+
+func TestRunWithPlanMatchesOnDemandAccounting(t *testing.T) {
+	// A plan that maps blocks ahead of use must serve the same accesses
+	// with no more transfer traffic than the on-demand controller.
+	w := workloads.CaseStudy()
+	prof, err := profile.Run(w.Program(), w.Trace(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := spm.Placement{}
+	for _, bp := range prof.Blocks {
+		if bp.Block.Kind.IsData() && bp.Block.Size <= 2*1024 {
+			place[bp.Block.ID] = spm.RegionSTT
+		}
+	}
+	cfg := DefaultPlatform()
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 16 * 1024}}
+	cfg.DSPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 4 * 1024}} // forces time-sharing
+	cfg.Placement = place
+
+	mOn, err := New(w.Program(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDemand, err := mOn.Run(w.Trace(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := schedule.Build(w.Program(), place, w.Trace(0.05),
+		schedule.RegionWords(cfg.ISPM), schedule.RegionWords(cfg.DSPM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPlan, err := New(w.Program(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := mPlan.RunWithPlan(w.Trace(0.05), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if planned.Accesses != onDemand.Accesses {
+		t.Errorf("access counts differ: %d vs %d", planned.Accesses, onDemand.Accesses)
+	}
+	if planned.DCtl.MapIns > onDemand.DCtl.MapIns {
+		t.Errorf("plan mapped in more often (%d) than LRU (%d)",
+			planned.DCtl.MapIns, onDemand.DCtl.MapIns)
+	}
+	if planned.DCtl.TransferCycles > onDemand.DCtl.TransferCycles {
+		t.Errorf("plan transfer cycles %d exceed LRU %d",
+			planned.DCtl.TransferCycles, onDemand.DCtl.TransferCycles)
+	}
+	if planned.DataRegionStats == nil || planned.DataRegionStats[spm.RegionSTT].WordsWritten == 0 {
+		t.Error("region stats missing from result")
+	}
+}
+
+func TestRunWithPlanBadBlock(t *testing.T) {
+	p := program.New("bad")
+	p.MustAddBlock("A", program.DataBlock, 64)
+	m := tinyMachine(t, spm.Placement{}, p)
+	plan := &schedule.Plan{Commands: []schedule.Command{{AtAccess: 0, Block: 99, Load: true}}}
+	a, err := p.AddrOf(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []trace.Event{
+		trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: a, Size: 4}),
+	}
+	if _, err := m.RunWithPlan(trace.NewSliceStream(evs), plan); err == nil {
+		t.Error("plan with phantom block accepted")
+	}
+}

@@ -1,0 +1,451 @@
+package spm
+
+import (
+	"errors"
+	"fmt"
+
+	"ftspm/internal/dram"
+	"ftspm/internal/memtech"
+	"ftspm/internal/program"
+)
+
+// Placement is the output of the mapping phase consumed by the
+// controller: for each mapped block, the region kind it is allowed to
+// occupy. Blocks absent from the placement are unmapped and served by the
+// cache hierarchy.
+type Placement map[program.BlockID]RegionKind
+
+// Clone returns a copy of the placement.
+func (p Placement) Clone() Placement {
+	out := make(Placement, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// CountByKind returns how many blocks target each region kind.
+func (p Placement) CountByKind() map[RegionKind]int {
+	out := make(map[RegionKind]int)
+	for _, k := range p {
+		out[k]++
+	}
+	return out
+}
+
+// KindCounts tallies program accesses served by one region kind.
+type KindCounts struct {
+	Reads, Writes uint64
+}
+
+// Total returns reads + writes.
+func (k KindCounts) Total() uint64 { return k.Reads + k.Writes }
+
+// ControllerStats aggregates on-line phase activity.
+type ControllerStats struct {
+	// MapIns counts block transfers into the SPM.
+	MapIns uint64
+	// Evictions counts blocks displaced to make room.
+	Evictions uint64
+	// PlannedUnmaps counts blocks removed by explicit (scheduled)
+	// unmap commands rather than capacity pressure.
+	PlannedUnmaps uint64
+	// WritebackWords counts dirty words returned to off-chip memory.
+	WritebackWords uint64
+	// TransferCycles accumulates DMA stall time.
+	TransferCycles memtech.Cycles
+	// PerKind tallies program accesses by serving region kind.
+	PerKind map[RegionKind]*KindCounts
+}
+
+func (s *ControllerStats) kind(k RegionKind) *KindCounts {
+	if s.PerKind == nil {
+		s.PerKind = make(map[RegionKind]*KindCounts)
+	}
+	c, ok := s.PerKind[k]
+	if !ok {
+		c = &KindCounts{}
+		s.PerKind[k] = c
+	}
+	return c
+}
+
+// Cost is the charged outcome of one controller access.
+type Cost struct {
+	// Cycles is the total stall: any DMA transfer plus the region
+	// access.
+	Cycles memtech.Cycles
+	// Kind is the region kind that served the access.
+	Kind RegionKind
+	// MappedIn is true when the access triggered a block transfer.
+	MappedIn bool
+}
+
+// Errors returned by the controller.
+var (
+	ErrBlockTooBig   = errors.New("spm: block larger than its target region")
+	ErrNoSuchRegion  = errors.New("spm: placement targets a region kind absent from this SPM")
+	ErrNotMapped     = errors.New("spm: block is not in the placement")
+	ErrBadPlacement  = errors.New("spm: invalid placement")
+	errNoAllocatable = errors.New("spm: internal: allocation failed after full eviction")
+)
+
+type interval struct{ start, n int }
+
+type residency struct {
+	region   int // region index within the SPM
+	baseWord int
+	words    int
+	dirty    bool
+	lastUse  uint64
+}
+
+// Controller implements the on-line phase: it tracks which blocks are
+// resident where, transfers blocks in on first touch (and back out on
+// eviction, when dirty), and routes each program access to the region
+// that holds the block. The paper inserts the transfer points statically
+// at compile time; this controller triggers the same transfers on demand
+// with least-recently-used eviction, which reproduces the transfer
+// traffic of the static schedule for the profiled access sequences.
+type Controller struct {
+	spm      *SPM
+	prog     *program.Program
+	place    Placement
+	mem      *dram.Memory
+	resident map[program.BlockID]*residency
+	free     [][]interval
+	kindIdx  map[RegionKind]int
+	tick     uint64
+	stats    ControllerStats
+}
+
+// NewController validates the placement against the SPM geometry and
+// returns a controller with an empty SPM.
+func NewController(s *SPM, prog *program.Program, place Placement, mem *dram.Memory) (*Controller, error) {
+	c := &Controller{
+		spm:      s,
+		prog:     prog,
+		place:    place.Clone(),
+		mem:      mem,
+		resident: make(map[program.BlockID]*residency),
+		free:     make([][]interval, s.NumRegions()),
+		kindIdx:  make(map[RegionKind]int),
+	}
+	for i, r := range s.Regions() {
+		c.free[i] = []interval{{start: 0, n: r.Words()}}
+		if _, dup := c.kindIdx[r.Kind()]; !dup {
+			c.kindIdx[r.Kind()] = i
+		}
+	}
+	for id, kind := range place {
+		b, err := prog.Block(id)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadPlacement, err)
+		}
+		idx, ok := c.kindIdx[kind]
+		if !ok {
+			return nil, fmt.Errorf("%w: block %s -> %v", ErrNoSuchRegion, b.Name, kind)
+		}
+		r, err := s.Region(idx)
+		if err != nil {
+			return nil, err
+		}
+		if memtech.WordsIn(b.Size) > r.Words() {
+			return nil, fmt.Errorf("%w: %s (%d B) -> %v (%d B)",
+				ErrBlockTooBig, b.Name, b.Size, kind, r.SizeBytes())
+		}
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the controller counters (the PerKind map is
+// copied too).
+func (c *Controller) Stats() ControllerStats {
+	out := c.stats
+	out.PerKind = make(map[RegionKind]*KindCounts, len(c.stats.PerKind))
+	for k, v := range c.stats.PerKind {
+		cp := *v
+		out.PerKind[k] = &cp
+	}
+	return out
+}
+
+// Placement returns a copy of the active placement.
+func (c *Controller) Placement() Placement { return c.place.Clone() }
+
+// IsMapped reports whether the block participates in the placement.
+func (c *Controller) IsMapped(id program.BlockID) bool {
+	_, ok := c.place[id]
+	return ok
+}
+
+// IsResident reports whether the block currently occupies SPM space.
+func (c *Controller) IsResident(id program.BlockID) bool {
+	_, ok := c.resident[id]
+	return ok
+}
+
+// Access serves one program access to a mapped block: it transfers the
+// block in if necessary and performs the region read/write. Offset and
+// size select the touched words within the block. For unmapped blocks it
+// returns ErrNotMapped; the simulator then uses the cache path.
+func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (Cost, error) {
+	kind, ok := c.place[id]
+	if !ok {
+		return Cost{}, ErrNotMapped
+	}
+	c.tick++
+	res, transferCycles, err := c.ensureResident(id)
+	if err != nil {
+		return Cost{}, err
+	}
+	res.lastUse = c.tick
+
+	b, err := c.prog.Block(id)
+	if err != nil {
+		return Cost{}, err
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if size < 1 {
+		size = 1
+	}
+	if offset+size > b.Size {
+		size = b.Size - offset
+		if size < 1 {
+			return Cost{}, fmt.Errorf("%w: offset %d outside %s", ErrOutOfRange, offset, b.Name)
+		}
+	}
+	r, err := c.spm.Region(res.region)
+	if err != nil {
+		return Cost{}, err
+	}
+	wordIdx := res.baseWord + offset/memtech.WordBytes
+	words := memtech.WordsIn(size)
+	if wordIdx+words > res.baseWord+res.words {
+		words = res.baseWord + res.words - wordIdx
+	}
+
+	var accessCycles memtech.Cycles
+	if write {
+		values := make([]uint32, words)
+		base := b.Addr + uint32(offset)
+		for i := range values {
+			values[i] = dram.Value(base/memtech.WordBytes + uint32(i))
+		}
+		accessCycles, err = r.Write(wordIdx, values)
+		res.dirty = true
+		c.stats.kind(kind).Writes++
+	} else {
+		_, accessCycles, err = r.Read(wordIdx, words)
+		c.stats.kind(kind).Reads++
+	}
+	if err != nil {
+		return Cost{}, err
+	}
+	return Cost{
+		Cycles:   transferCycles + accessCycles,
+		Kind:     kind,
+		MappedIn: transferCycles > 0,
+	}, nil
+}
+
+// MapIn executes a scheduled map-in command (the paper's SMI): the
+// block is transferred into its target region now, ahead of its first
+// access. Already-resident blocks are a no-op. Space is made with the
+// same LRU fallback the on-demand path uses, but a well-formed schedule
+// issues its Unmap commands first, so the fallback stays idle.
+func (c *Controller) MapIn(id program.BlockID) (memtech.Cycles, error) {
+	if _, ok := c.place[id]; !ok {
+		return 0, ErrNotMapped
+	}
+	c.tick++
+	res, cycles, err := c.ensureResident(id)
+	if err != nil {
+		return 0, err
+	}
+	res.lastUse = c.tick
+	return cycles, nil
+}
+
+// Unmap executes a scheduled unmap command: the block leaves the SPM
+// now, writing dirty contents back off-chip. Non-resident blocks are a
+// no-op.
+func (c *Controller) Unmap(id program.BlockID) (memtech.Cycles, error) {
+	res, ok := c.resident[id]
+	if !ok {
+		return 0, nil
+	}
+	var cycles memtech.Cycles
+	if res.dirty {
+		r, err := c.spm.Region(res.region)
+		if err != nil {
+			return 0, err
+		}
+		_, readCycles, err := r.Read(res.baseWord, res.words)
+		if err != nil {
+			return 0, err
+		}
+		dramCycles, _ := c.mem.Burst(res.words, true)
+		cycles = maxCycles(readCycles, dramCycles)
+		c.stats.WritebackWords += uint64(res.words)
+	}
+	c.returnInterval(res.region, interval{start: res.baseWord, n: res.words})
+	delete(c.resident, id)
+	c.stats.PlannedUnmaps++
+	c.stats.TransferCycles += cycles
+	return cycles, nil
+}
+
+// ensureResident maps the block in if needed, evicting least-recently-
+// used blocks from the target region until space is available. The
+// returned cycles charge the DMA stall (off-chip burst overlapped with
+// the region-side burst: the slower of the two dominates).
+func (c *Controller) ensureResident(id program.BlockID) (*residency, memtech.Cycles, error) {
+	if res, ok := c.resident[id]; ok {
+		return res, 0, nil
+	}
+	kind := c.place[id]
+	regionIdx := c.kindIdx[kind]
+	b, err := c.prog.Block(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	words := memtech.WordsIn(b.Size)
+
+	var cycles memtech.Cycles
+	base, evictCycles, err := c.allocate(regionIdx, words)
+	if err != nil {
+		return nil, 0, err
+	}
+	cycles += evictCycles
+
+	// DMA the block in: off-chip read burst overlapped with the
+	// region-side write burst.
+	r, err := c.spm.Region(regionIdx)
+	if err != nil {
+		return nil, 0, err
+	}
+	dramCycles, _ := c.mem.Burst(words, false)
+	values := make([]uint32, words)
+	for i := range values {
+		values[i] = dram.Value(b.Addr/memtech.WordBytes + uint32(i))
+	}
+	regionCycles, err := r.Write(base, values)
+	if err != nil {
+		return nil, 0, err
+	}
+	cycles += maxCycles(dramCycles, regionCycles)
+
+	res := &residency{region: regionIdx, baseWord: base, words: words, lastUse: c.tick}
+	c.resident[id] = res
+	c.stats.MapIns++
+	c.stats.TransferCycles += cycles
+	return res, cycles, nil
+}
+
+// allocate finds a first-fit run of words in the region, evicting LRU
+// residents until one exists.
+func (c *Controller) allocate(regionIdx, words int) (int, memtech.Cycles, error) {
+	var cycles memtech.Cycles
+	for {
+		if base, ok := c.takeInterval(regionIdx, words); ok {
+			return base, cycles, nil
+		}
+		evicted, evictionCycles, err := c.evictLRU(regionIdx)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !evicted {
+			return 0, 0, errNoAllocatable
+		}
+		cycles += evictionCycles
+	}
+}
+
+func (c *Controller) takeInterval(regionIdx, words int) (int, bool) {
+	frees := c.free[regionIdx]
+	for i, iv := range frees {
+		if iv.n >= words {
+			base := iv.start
+			if iv.n == words {
+				c.free[regionIdx] = append(frees[:i], frees[i+1:]...)
+			} else {
+				frees[i] = interval{start: iv.start + words, n: iv.n - words}
+			}
+			return base, true
+		}
+	}
+	return 0, false
+}
+
+// evictLRU displaces the least-recently-used resident of the region,
+// writing dirty contents back off-chip. It returns false when the region
+// holds no residents.
+func (c *Controller) evictLRU(regionIdx int) (bool, memtech.Cycles, error) {
+	var victim program.BlockID
+	var vres *residency
+	for id, res := range c.resident {
+		if res.region != regionIdx {
+			continue
+		}
+		if vres == nil || res.lastUse < vres.lastUse {
+			victim, vres = id, res
+		}
+	}
+	if vres == nil {
+		return false, 0, nil
+	}
+	var cycles memtech.Cycles
+	if vres.dirty {
+		r, err := c.spm.Region(regionIdx)
+		if err != nil {
+			return false, 0, err
+		}
+		_, readCycles, err := r.Read(vres.baseWord, vres.words)
+		if err != nil {
+			return false, 0, err
+		}
+		dramCycles, _ := c.mem.Burst(vres.words, true)
+		cycles = maxCycles(readCycles, dramCycles)
+		c.stats.WritebackWords += uint64(vres.words)
+	}
+	c.returnInterval(regionIdx, interval{start: vres.baseWord, n: vres.words})
+	delete(c.resident, victim)
+	c.stats.Evictions++
+	c.stats.TransferCycles += cycles
+	return true, cycles, nil
+}
+
+// returnInterval merges a freed run back into the region's free list.
+func (c *Controller) returnInterval(regionIdx int, iv interval) {
+	frees := c.free[regionIdx]
+	pos := len(frees)
+	for i, f := range frees {
+		if f.start > iv.start {
+			pos = i
+			break
+		}
+	}
+	frees = append(frees, interval{})
+	copy(frees[pos+1:], frees[pos:])
+	frees[pos] = iv
+	// Merge neighbours.
+	merged := frees[:0]
+	for _, f := range frees {
+		if n := len(merged); n > 0 && merged[n-1].start+merged[n-1].n == f.start {
+			merged[n-1].n += f.n
+		} else {
+			merged = append(merged, f)
+		}
+	}
+	c.free[regionIdx] = merged
+}
+
+func maxCycles(a, b memtech.Cycles) memtech.Cycles {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,340 @@
+package spm
+
+import (
+	"errors"
+	"testing"
+
+	"ftspm/internal/dram"
+	"ftspm/internal/program"
+)
+
+// ctlFixture builds a small hybrid SPM, a three-block program, and a
+// controller mapping Hot->STT, Warm->ECC, Stack->parity.
+func ctlFixture(t *testing.T) (*Controller, *program.Program, map[string]program.BlockID) {
+	t.Helper()
+	s, err := New(0,
+		RegionConfig{Kind: RegionSTT, SizeBytes: 2 * 1024},
+		RegionConfig{Kind: RegionECC, SizeBytes: 1 * 1024},
+		RegionConfig{Kind: RegionParity, SizeBytes: 512},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.New("ctl")
+	ids := map[string]program.BlockID{
+		"Hot":   p.MustAddBlock("Hot", program.DataBlock, 1024),
+		"Hot2":  p.MustAddBlock("Hot2", program.DataBlock, 1024),
+		"Hot3":  p.MustAddBlock("Hot3", program.DataBlock, 512),
+		"Warm":  p.MustAddBlock("Warm", program.DataBlock, 1024),
+		"Stack": p.MustAddBlock("Stack", program.StackBlock, 256),
+		"Off":   p.MustAddBlock("Off", program.DataBlock, 64),
+	}
+	place := Placement{
+		ids["Hot"]:   RegionSTT,
+		ids["Hot2"]:  RegionSTT,
+		ids["Hot3"]:  RegionSTT,
+		ids["Warm"]:  RegionECC,
+		ids["Stack"]: RegionParity,
+	}
+	mem, err := dram.New(dram.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(s, p, place, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl, p, ids
+}
+
+func TestControllerValidation(t *testing.T) {
+	s, err := New(0, RegionConfig{Kind: RegionSTT, SizeBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.New("v")
+	big := p.MustAddBlock("Big", program.DataBlock, 1024)
+	small := p.MustAddBlock("Small", program.DataBlock, 128)
+	mem, err := dram.New(dram.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewController(s, p, Placement{big: RegionSTT}, mem); !errors.Is(err, ErrBlockTooBig) {
+		t.Errorf("oversized block: %v", err)
+	}
+	if _, err := NewController(s, p, Placement{small: RegionECC}, mem); !errors.Is(err, ErrNoSuchRegion) {
+		t.Errorf("absent region: %v", err)
+	}
+	if _, err := NewController(s, p, Placement{program.BlockID(99): RegionSTT}, mem); !errors.Is(err, ErrBadPlacement) {
+		t.Errorf("phantom block: %v", err)
+	}
+}
+
+func TestControllerFirstTouchMapsIn(t *testing.T) {
+	ctl, _, ids := ctlFixture(t)
+	hot := ids["Hot"]
+	if ctl.IsResident(hot) {
+		t.Fatal("block resident before first touch")
+	}
+	cost, err := ctl.Access(hot, 0, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cost.MappedIn {
+		t.Error("first touch did not map in")
+	}
+	if cost.Kind != RegionSTT {
+		t.Errorf("served by %v", cost.Kind)
+	}
+	// Transfer of 256 words dominates: at least the DRAM burst time.
+	if cost.Cycles < 60 {
+		t.Errorf("map-in cost = %d cycles, implausibly cheap", cost.Cycles)
+	}
+	if !ctl.IsResident(hot) {
+		t.Error("block not resident after touch")
+	}
+	// Second touch is a plain region access.
+	cost2, err := ctl.Access(hot, 0, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2.MappedIn || cost2.Cycles != 1 {
+		t.Errorf("second touch: %+v, want 1-cycle STT read", cost2)
+	}
+	st := ctl.Stats()
+	if st.MapIns != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.PerKind[RegionSTT].Reads != 2 {
+		t.Errorf("STT reads = %d", st.PerKind[RegionSTT].Reads)
+	}
+}
+
+func TestControllerUnmappedBlock(t *testing.T) {
+	ctl, _, ids := ctlFixture(t)
+	if _, err := ctl.Access(ids["Off"], 0, 4, false); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("unmapped access: %v", err)
+	}
+	if ctl.IsMapped(ids["Off"]) {
+		t.Error("Off reported mapped")
+	}
+	if !ctl.IsMapped(ids["Hot"]) {
+		t.Error("Hot reported unmapped")
+	}
+}
+
+func TestControllerEvictionLRU(t *testing.T) {
+	// STT region holds 2 KB; Hot(1K) + Hot2(1K) fill it; touching
+	// Hot3(512B) must evict the LRU block (Hot).
+	ctl, _, ids := ctlFixture(t)
+	mustAccess := func(name string, write bool) Cost {
+		c, err := ctl.Access(ids[name], 0, 4, write)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return c
+	}
+	mustAccess("Hot", true) // dirty
+	mustAccess("Hot2", false)
+	mustAccess("Hot2", false) // Hot is now LRU
+	c := mustAccess("Hot3", false)
+	if !c.MappedIn {
+		t.Error("Hot3 did not map in")
+	}
+	if ctl.IsResident(ids["Hot"]) {
+		t.Error("LRU victim Hot still resident")
+	}
+	if !ctl.IsResident(ids["Hot2"]) || !ctl.IsResident(ids["Hot3"]) {
+		t.Error("wrong victim evicted")
+	}
+	st := ctl.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d", st.Evictions)
+	}
+	// Hot was dirty: its 256 words must have been written back.
+	if st.WritebackWords != 256 {
+		t.Errorf("WritebackWords = %d, want 256", st.WritebackWords)
+	}
+	// Re-touching Hot maps it back in.
+	c = mustAccess("Hot", false)
+	if !c.MappedIn {
+		t.Error("re-touch did not remap")
+	}
+}
+
+func TestControllerWriteReadContent(t *testing.T) {
+	// Written content must be the deterministic off-chip image pattern
+	// and survive region storage.
+	ctl, p, ids := ctlFixture(t)
+	warm := ids["Warm"]
+	if _, err := ctl.Access(warm, 128, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Block(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := ctl.spm.RegionByKind(RegionECC)
+	if !ok {
+		t.Fatal("no ECC region")
+	}
+	res := ctl.resident[warm]
+	got, _, err := r.Read(res.baseWord+128/4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dram.Value((b.Addr + 128) / 4)
+	if got[0] != want {
+		t.Errorf("stored word = %#x, want %#x", got[0], want)
+	}
+}
+
+func TestControllerAccessClamping(t *testing.T) {
+	ctl, _, ids := ctlFixture(t)
+	// Oversized access clamps to the block end.
+	if _, err := ctl.Access(ids["Stack"], 252, 64, false); err != nil {
+		t.Errorf("clamped access failed: %v", err)
+	}
+	// Access entirely past the end fails.
+	if _, err := ctl.Access(ids["Stack"], 512, 4, false); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("past-end access: %v", err)
+	}
+	// Negative offset and zero size are normalized.
+	if _, err := ctl.Access(ids["Stack"], -5, 0, false); err != nil {
+		t.Errorf("normalized access failed: %v", err)
+	}
+}
+
+func TestControllerPlacementAccessors(t *testing.T) {
+	ctl, _, ids := ctlFixture(t)
+	pl := ctl.Placement()
+	if pl[ids["Hot"]] != RegionSTT {
+		t.Error("Placement copy wrong")
+	}
+	pl[ids["Hot"]] = RegionParity
+	if ctl.place[ids["Hot"]] != RegionSTT {
+		t.Error("Placement not a copy")
+	}
+	counts := pl.CountByKind()
+	if counts[RegionSTT] != 2 || counts[RegionParity] != 2 {
+		t.Errorf("CountByKind = %v", counts)
+	}
+	cl := Placement{ids["Hot"]: RegionECC}.Clone()
+	if cl[ids["Hot"]] != RegionECC || len(cl) != 1 {
+		t.Error("Clone wrong")
+	}
+	if (KindCounts{Reads: 2, Writes: 3}).Total() != 5 {
+		t.Error("KindCounts.Total wrong")
+	}
+}
+
+func TestControllerThrashingStaysConsistent(t *testing.T) {
+	// Alternate between three STT blocks that cannot all fit: the
+	// controller must keep allocating/evicting without leaking space.
+	ctl, _, ids := ctlFixture(t)
+	names := []string{"Hot", "Hot2", "Hot3", "Hot", "Hot3", "Hot2", "Hot", "Hot2", "Hot3"}
+	for i, n := range names {
+		write := i%2 == 0
+		if _, err := ctl.Access(ids[n], 0, 4, write); err != nil {
+			t.Fatalf("step %d (%s): %v", i, n, err)
+		}
+	}
+	// Free list must be consistent: total free + resident words == region words.
+	r, err := ctl.spm.Region(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := 0
+	for _, iv := range ctl.free[0] {
+		free += iv.n
+	}
+	resident := 0
+	for _, res := range ctl.resident {
+		if res.region == 0 {
+			resident += res.words
+		}
+	}
+	if free+resident != r.Words() {
+		t.Errorf("space leak: free %d + resident %d != %d", free, resident, r.Words())
+	}
+	st := ctl.Stats()
+	if st.MapIns < 5 || st.Evictions < 3 {
+		t.Errorf("thrash stats implausible: %+v", st)
+	}
+}
+
+func TestControllerMapInAndUnmap(t *testing.T) {
+	ctl, _, ids := ctlFixture(t)
+	hot := ids["Hot"]
+
+	// Scheduled map-in ahead of any access.
+	cycles, err := ctl.MapIn(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Error("map-in charged no transfer time")
+	}
+	if !ctl.IsResident(hot) {
+		t.Fatal("block not resident after MapIn")
+	}
+	// Repeated map-in is a free no-op.
+	cycles, err = ctl.MapIn(hot)
+	if err != nil || cycles != 0 {
+		t.Errorf("second MapIn = %d cycles, %v", cycles, err)
+	}
+	// The later access finds the block resident: no MappedIn flag.
+	cost, err := ctl.Access(hot, 0, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.MappedIn {
+		t.Error("access re-transferred a scheduled block")
+	}
+
+	// Scheduled unmap writes the dirty block back.
+	cycles, err = ctl.Unmap(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Error("dirty unmap charged no write-back time")
+	}
+	if ctl.IsResident(hot) {
+		t.Error("block resident after Unmap")
+	}
+	st := ctl.Stats()
+	if st.PlannedUnmaps != 1 {
+		t.Errorf("PlannedUnmaps = %d", st.PlannedUnmaps)
+	}
+	if st.WritebackWords != 256 {
+		t.Errorf("WritebackWords = %d, want 256", st.WritebackWords)
+	}
+
+	// Unmapping a non-resident block is a free no-op.
+	cycles, err = ctl.Unmap(hot)
+	if err != nil || cycles != 0 {
+		t.Errorf("no-op Unmap = %d cycles, %v", cycles, err)
+	}
+	// MapIn of an unmapped block is rejected.
+	if _, err := ctl.MapIn(ids["Off"]); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("MapIn of unmapped block: %v", err)
+	}
+}
+
+func TestControllerUnmapCleanBlockFree(t *testing.T) {
+	ctl, _, ids := ctlFixture(t)
+	if _, err := ctl.Access(ids["Hot"], 0, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := ctl.Unmap(ids["Hot"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 0 {
+		t.Errorf("clean unmap charged %d cycles, want 0 (nothing to write back)", cycles)
+	}
+	if ctl.Stats().WritebackWords != 0 {
+		t.Error("clean unmap wrote back")
+	}
+}

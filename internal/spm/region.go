@@ -1,0 +1,354 @@
+// Package spm models the ScratchPad Memory hardware of FTSPM: protection
+// regions with real encoded storage (through the ecc codecs), the hybrid
+// SPM assembled from them (Fig. 1), and the SPM controller that performs
+// the on-line phase — mapping blocks in and out of regions with DMA
+// transfers against the off-chip memory.
+package spm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ftspm/internal/ecc"
+	"ftspm/internal/faults"
+	"ftspm/internal/memtech"
+)
+
+// RegionKind identifies one of the protection levels of the proposed
+// structure (Table IV legend).
+type RegionKind int
+
+// Region kinds.
+const (
+	// RegionSTT is STT-RAM: immune to particle strikes, slow and
+	// expensive writes, limited write endurance.
+	RegionSTT RegionKind = iota + 1
+	// RegionECC is SEC-DED-protected SRAM: corrects 1-bit, detects
+	// 2-bit upsets, 2-cycle accesses.
+	RegionECC
+	// RegionParity is parity-protected SRAM: detects 1-bit upsets,
+	// 1-cycle accesses.
+	RegionParity
+	// RegionPlain is unprotected SRAM (used by the cache model and as a
+	// reference point; no Table IV SPM uses it).
+	RegionPlain
+	// RegionDMR is duplicated SRAM (dual modular redundancy) — the
+	// related-work duplication scheme [3] implemented as a comparison
+	// structure: every word stored twice, reads compare the copies.
+	RegionDMR
+)
+
+// String implements fmt.Stringer.
+func (k RegionKind) String() string {
+	switch k {
+	case RegionSTT:
+		return "STT-RAM"
+	case RegionECC:
+		return "SRAM(ECC)"
+	case RegionParity:
+		return "SRAM(parity)"
+	case RegionPlain:
+		return "SRAM"
+	case RegionDMR:
+		return "SRAM(DMR)"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is a known kind.
+func (k RegionKind) Valid() bool {
+	switch k {
+	case RegionSTT, RegionECC, RegionParity, RegionPlain, RegionDMR:
+		return true
+	default:
+		return false
+	}
+}
+
+// Technology returns the cell technology of the kind.
+func (k RegionKind) Technology() memtech.Technology {
+	if k == RegionSTT {
+		return memtech.STTRAM
+	}
+	return memtech.SRAM
+}
+
+// Protection returns the memtech protection level of the kind.
+func (k RegionKind) Protection() memtech.Protection {
+	switch k {
+	case RegionECC:
+		return memtech.SECDED
+	case RegionParity:
+		return memtech.Parity
+	case RegionDMR:
+		return memtech.DMR
+	default:
+		return memtech.Unprotected
+	}
+}
+
+// Immune reports whether cells of this kind ignore particle strikes
+// (STT-RAM per [9]).
+func (k RegionKind) Immune() bool { return k == RegionSTT }
+
+// VulnerabilityWeight returns the per-strike probability that an upset in
+// this region escapes correction — the SDC+DUE probability the paper's
+// equations (1)-(7) assign to the region:
+//
+//	STT-RAM      → 0            (immune)
+//	SEC-DED SRAM → P(2) + P(≥3) (1-bit upsets are corrected)
+//	parity SRAM  → P(1) + P(≥2) = 1 (nothing is correctable)
+//	plain SRAM   → 1            (everything is silent corruption)
+func (k RegionKind) VulnerabilityWeight(d faults.MBUDistribution) float64 {
+	switch k {
+	case RegionSTT:
+		return 0
+	case RegionECC:
+		return d.PAtLeast(2)
+	default:
+		// Parity and plain SRAM: every upset escapes or is merely
+		// detected; DMR detects nearly everything but recovers nothing,
+		// so its DUE mass still counts toward eq. (1).
+		return d.PAtLeast(1)
+	}
+}
+
+func (k RegionKind) newCodec() (ecc.Codec, error) {
+	switch k {
+	case RegionECC:
+		return ecc.NewHamming(32)
+	case RegionParity:
+		return ecc.NewParity(32)
+	case RegionSTT, RegionPlain:
+		return ecc.NewRaw(32)
+	case RegionDMR:
+		return ecc.NewDMR(32)
+	default:
+		return nil, fmt.Errorf("spm: no codec for %v", k)
+	}
+}
+
+// RegionStats counts traffic and observed error events in one region.
+type RegionStats struct {
+	ReadAccesses, WriteAccesses uint64
+	WordsRead, WordsWritten     uint64
+	Energy                      memtech.Picojoules
+	CorrectedErrors             uint64
+	DetectedErrors              uint64
+	// SilentReads counts reads that returned wrong data without any
+	// error signal — consumed silent corruption. The hardware cannot
+	// observe this; the simulator's golden copy can, which is what makes
+	// empirical AVF validation possible (experiments.ValidateAVF).
+	SilentReads uint64
+}
+
+// Errors returned by region and SPM operations.
+var (
+	ErrBadRegionSize = errors.New("spm: region size must be a positive multiple of the word size")
+	ErrBadRegionKind = errors.New("spm: unknown region kind")
+	ErrOutOfRange    = errors.New("spm: access outside region")
+)
+
+// Region is one contiguous protection region with encoded backing store.
+type Region struct {
+	kind   RegionKind
+	bank   memtech.Bank
+	codec  ecc.Codec
+	words  []ecc.Bits // encoded codewords, one per 32-bit data word
+	golden []uint32   // last written payloads, for audit classification
+	writes []uint64   // per-word write counters (endurance analysis)
+	stats  RegionStats
+}
+
+// NewRegion builds a region of the given kind and byte size.
+func NewRegion(kind RegionKind, sizeBytes int) (*Region, error) {
+	if !kind.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadRegionKind, int(kind))
+	}
+	if sizeBytes <= 0 || sizeBytes%memtech.WordBytes != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadRegionSize, sizeBytes)
+	}
+	bank, err := memtech.EstimateBank(kind.Technology(), kind.Protection(), sizeBytes)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := kind.newCodec()
+	if err != nil {
+		return nil, err
+	}
+	n := sizeBytes / memtech.WordBytes
+	r := &Region{
+		kind:   kind,
+		bank:   bank,
+		codec:  codec,
+		words:  make([]ecc.Bits, n),
+		golden: make([]uint32, n),
+		writes: make([]uint64, n),
+	}
+	// Power-on state: every word holds an encoded zero so decodes are
+	// consistent from the start.
+	zero := codec.Encode(ecc.BitsFromUint64(0))
+	for i := range r.words {
+		r.words[i] = zero
+	}
+	return r, nil
+}
+
+// Kind returns the region's protection kind.
+func (r *Region) Kind() RegionKind { return r.kind }
+
+// Bank returns the region's technology parameters.
+func (r *Region) Bank() memtech.Bank { return r.bank }
+
+// SizeBytes returns the region capacity.
+func (r *Region) SizeBytes() int { return len(r.words) * memtech.WordBytes }
+
+// Words returns the region capacity in 32-bit words.
+func (r *Region) Words() int { return len(r.words) }
+
+// Stats returns a copy of the region counters.
+func (r *Region) Stats() RegionStats { return r.stats }
+
+// WriteCount returns the accumulated writes to the word at wordIdx.
+func (r *Region) WriteCount(wordIdx int) uint64 {
+	if wordIdx < 0 || wordIdx >= len(r.writes) {
+		return 0
+	}
+	return r.writes[wordIdx]
+}
+
+// MaxWriteCount returns the hottest word's write count.
+func (r *Region) MaxWriteCount() uint64 {
+	var m uint64
+	for _, w := range r.writes {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Read decodes n words starting at wordIdx, charging latency and energy,
+// and returns the payloads. Observed error events (corrections,
+// detections) are counted in the region stats.
+func (r *Region) Read(wordIdx, n int) ([]uint32, memtech.Cycles, error) {
+	if wordIdx < 0 || n < 0 || wordIdx+n > len(r.words) {
+		return nil, 0, fmt.Errorf("%w: read [%d,+%d) of %d", ErrOutOfRange, wordIdx, n, len(r.words))
+	}
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		data, status := r.codec.Decode(r.words[wordIdx+i])
+		switch status {
+		case ecc.Corrected:
+			r.stats.CorrectedErrors++
+			// Correction repairs the stored word too (scrub-on-read).
+			r.words[wordIdx+i] = r.codec.Encode(data)
+		case ecc.Detected:
+			r.stats.DetectedErrors++
+		}
+		out[i] = uint32(data.Uint64())
+		if status != ecc.Detected && out[i] != r.golden[wordIdx+i] {
+			r.stats.SilentReads++
+		}
+	}
+	r.stats.ReadAccesses++
+	r.stats.WordsRead += uint64(n)
+	e := r.bank.AccessEnergy(n*memtech.WordBytes, false)
+	r.stats.Energy += e
+	return out, r.bank.AccessLatency(n*memtech.WordBytes, false), nil
+}
+
+// Write encodes values into consecutive words starting at wordIdx,
+// charging latency and energy and bumping the per-word write counters.
+func (r *Region) Write(wordIdx int, values []uint32) (memtech.Cycles, error) {
+	n := len(values)
+	if wordIdx < 0 || wordIdx+n > len(r.words) {
+		return 0, fmt.Errorf("%w: write [%d,+%d) of %d", ErrOutOfRange, wordIdx, n, len(r.words))
+	}
+	for i, v := range values {
+		r.words[wordIdx+i] = r.codec.Encode(ecc.BitsFromUint64(uint64(v)))
+		r.golden[wordIdx+i] = v
+		r.writes[wordIdx+i]++
+	}
+	r.stats.WriteAccesses++
+	r.stats.WordsWritten += uint64(n)
+	e := r.bank.AccessEnergy(n*memtech.WordBytes, true)
+	r.stats.Energy += e
+	return r.bank.AccessLatency(n*memtech.WordBytes, true), nil
+}
+
+// InjectStrike flips a cluster of `multiplicity` adjacent bits in the
+// stored codeword at wordIdx. STT-RAM regions are immune: the strike is
+// absorbed and the word is unchanged. It returns true when bits actually
+// flipped.
+func (r *Region) InjectStrike(rng *rand.Rand, wordIdx, multiplicity int) (bool, error) {
+	if wordIdx < 0 || wordIdx >= len(r.words) {
+		return false, fmt.Errorf("%w: word %d of %d", ErrOutOfRange, wordIdx, len(r.words))
+	}
+	if r.kind.Immune() {
+		return false, nil
+	}
+	r.words[wordIdx] = faults.InjectCluster(rng, r.words[wordIdx], r.codec.CodeBits(), multiplicity)
+	return true, nil
+}
+
+// Scrub decodes every word and rewrites the ones with correctable
+// errors, clearing accumulated single-bit upsets before a second strike
+// can turn them into uncorrectable ones. It charges a full-region read
+// plus one write per repaired word and returns the repair/uncorrectable
+// counts. Scrubbing is an extension beyond the paper (its Section VI
+// future-work direction of strengthening the SRAM regions); see
+// experiments.AblationScrubbing for the quantified effect.
+func (r *Region) Scrub() (repaired, uncorrectable int, cycles memtech.Cycles) {
+	cycles = r.bank.AccessLatency(len(r.words)*memtech.WordBytes, false)
+	r.stats.ReadAccesses++
+	r.stats.WordsRead += uint64(len(r.words))
+	r.stats.Energy += r.bank.AccessEnergy(len(r.words)*memtech.WordBytes, false)
+	for i, w := range r.words {
+		data, status := r.codec.Decode(w)
+		switch status {
+		case ecc.Corrected:
+			r.words[i] = r.codec.Encode(data)
+			r.writes[i]++
+			repaired++
+			r.stats.CorrectedErrors++
+			cycles += r.bank.AccessLatency(memtech.WordBytes, true)
+			r.stats.Energy += r.bank.AccessEnergy(memtech.WordBytes, true)
+			r.stats.WordsWritten++
+		case ecc.Detected:
+			uncorrectable++
+			r.stats.DetectedErrors++
+		}
+	}
+	return repaired, uncorrectable, cycles
+}
+
+// Audit decodes every word and classifies it against the last written
+// payload, without charging energy or disturbing the stats: the
+// fault-injection campaign's ground-truth check.
+func (r *Region) Audit() faults.Tally {
+	var t faults.Tally
+	for i, w := range r.words {
+		data, status := r.codec.Decode(w)
+		intact := uint32(data.Uint64()) == r.golden[i]
+		switch status {
+		case ecc.Corrected:
+			if intact {
+				t.Add(faults.DRE)
+			} else {
+				t.Add(faults.SDC)
+			}
+		case ecc.Detected:
+			t.Add(faults.DUE)
+		default:
+			if intact {
+				t.Add(faults.Benign)
+			} else {
+				t.Add(faults.SDC)
+			}
+		}
+	}
+	return t
+}

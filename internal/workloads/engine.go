@@ -1,0 +1,314 @@
+// Package workloads is the reproduction's substitute for the MiBench
+// benchmark suite [28] and for the Section IV case-study program: a set
+// of deterministic workload generators, each producing a program image
+// (blocks with sizes) and a memory-access trace whose block-level profile
+// has the same character — read/write mix, activation structure, stack
+// behaviour, hot/cold blocks — as the program it stands in for.
+//
+// The mapping algorithm and every evaluated metric consume only the
+// block-level profile and the access stream, so reproducing those shapes
+// preserves the behaviour the paper's evaluation depends on (see
+// DESIGN.md §2).
+package workloads
+
+import (
+	"math/rand"
+
+	"ftspm/internal/program"
+	"ftspm/internal/trace"
+)
+
+// pattern describes how a workload touches one data block.
+type pattern struct {
+	// block names the data block.
+	block string
+	// weight is the relative share of data-activation picks.
+	weight float64
+	// readFrac is the probability an access within an activation is a
+	// read.
+	readFrac float64
+	// runLen is the mean number of accesses per activation (a maximal
+	// burst of accesses to this block before the program moves on); the
+	// profiler counts each activation as one block reference.
+	runLen int
+	// burstWords is the number of 32-bit words touched per access event.
+	burstWords int
+	// sequential walks offsets linearly within the block when true,
+	// uniformly at random when false.
+	sequential bool
+}
+
+// codeUse describes how a workload fetches one code block.
+type codeUse struct {
+	// block names the code block.
+	block string
+	// weight is the relative share of instruction fetches.
+	weight float64
+	// frameBytes is the stack frame pushed when the block is entered
+	// (0 = leaf code entered without a call marker).
+	frameBytes int
+	// stackTouch is the number of stack words spilled on entry and
+	// reloaded on exit.
+	stackTouch int
+}
+
+// segment is one phase of a workload's execution.
+type segment struct {
+	// share is the fraction of the workload's activations spent in this
+	// segment.
+	share float64
+	// patterns are the data patterns active in the segment.
+	patterns []pattern
+	// code are the code blocks executing in the segment.
+	code []codeUse
+	// callEvery issues a call/return pair (with stack traffic) once per
+	// this many activations; 0 disables calls in the segment.
+	callEvery int
+	// think is the mean compute-cycle gap in front of each access.
+	think int
+	// fetchEvery emits one instruction-fetch burst per this many data
+	// accesses (models the I-side bandwidth relative to the D-side).
+	fetchEvery int
+	// fetchWords is the length of one instruction-fetch burst in words.
+	fetchWords int
+}
+
+// spec declares a complete synthetic workload.
+type spec struct {
+	name string
+	desc string
+	// blocks lists every program block (code, data, stack).
+	blocks []blockSpec
+	// stack names the stack block used by call markers.
+	stack string
+	// segments are executed in order.
+	segments []segment
+	// activations is the total activation count at scale 1.0.
+	activations int
+	// seed fixes the generator's randomness.
+	seed int64
+}
+
+type blockSpec struct {
+	name string
+	kind program.BlockKind
+	size int
+}
+
+// buildProgram materializes the spec's program image.
+func (s spec) buildProgram() *program.Program {
+	p := program.New(s.name)
+	for _, b := range s.blocks {
+		p.MustAddBlock(b.name, b.kind, b.size)
+	}
+	return p
+}
+
+// generate materializes the spec's trace at the given scale. Scale
+// multiplies the activation count; 1.0 is the reference length.
+func (s spec) generate(p *program.Program, scale float64) []trace.Event {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	rng := rand.New(rand.NewSource(s.seed))
+	g := &generator{prog: p, rng: rng, stack: s.stack}
+	total := int(float64(s.activations) * scale)
+	if total < 1 {
+		total = 1
+	}
+	for _, seg := range s.segments {
+		n := int(float64(total) * seg.share)
+		if n < 1 {
+			n = 1
+		}
+		g.runSegment(seg, n)
+	}
+	return g.events
+}
+
+// generator emits trace events for a spec.
+type generator struct {
+	prog   *program.Program
+	rng    *rand.Rand
+	stack  string
+	events []trace.Event
+
+	// cursor tracks the sequential offset per block name.
+	cursor map[string]int
+	// sinceFetch counts data accesses since the last instruction fetch.
+	sinceFetch int
+	// stackDepth is the current call-stack depth in bytes (frames are
+	// addressed by depth, like a real descending stack).
+	stackDepth int
+}
+
+func (g *generator) runSegment(seg segment, activations int) {
+	if g.cursor == nil {
+		g.cursor = make(map[string]int)
+	}
+	totalW := 0.0
+	for _, pt := range seg.patterns {
+		totalW += pt.weight
+	}
+	for act := 0; act < activations; act++ {
+		if seg.callEvery > 0 && act%seg.callEvery == 0 {
+			g.emitCall(seg)
+		}
+		pt := g.pickPattern(seg.patterns, totalW)
+		g.fetchBurst(seg) // entering the activation executes code
+		runLen := 1 + g.rng.Intn(2*pt.runLen)
+		for i := 0; i < runLen; i++ {
+			g.emitData(pt, seg)
+		}
+	}
+}
+
+func (g *generator) pickPattern(patterns []pattern, totalW float64) pattern {
+	u := g.rng.Float64() * totalW
+	for _, pt := range patterns {
+		if u < pt.weight {
+			return pt
+		}
+		u -= pt.weight
+	}
+	return patterns[len(patterns)-1]
+}
+
+// emitData issues one access event according to the pattern.
+func (g *generator) emitData(pt pattern, seg segment) {
+	id, ok := g.prog.Lookup(pt.block)
+	if !ok {
+		panic("workloads: spec references unknown block " + pt.block)
+	}
+	b, err := g.prog.Block(id)
+	if err != nil {
+		panic(err)
+	}
+	size := pt.burstWords * 4
+	if size <= 0 {
+		size = 4
+	}
+	if size > b.Size {
+		size = b.Size
+	}
+	var off int
+	if pt.sequential {
+		off = g.cursor[pt.block]
+		g.cursor[pt.block] = (off + size) % maxOffset(b.Size, size)
+	} else {
+		off = g.rng.Intn(maxOffset(b.Size, size))
+		off &^= 3 // word-align
+	}
+	op := trace.Write
+	if g.rng.Float64() < pt.readFrac {
+		op = trace.Read
+	}
+	think := 0
+	if seg.think > 0 {
+		think = g.rng.Intn(2*seg.think + 1)
+	}
+	g.events = append(g.events, trace.AccessEvent(trace.Access{
+		Op: op, Space: trace.Data,
+		Addr: b.Addr + uint32(off), Size: size, Think: think,
+	}))
+	g.sinceFetch++
+	if seg.fetchEvery > 0 && g.sinceFetch >= seg.fetchEvery {
+		g.sinceFetch = 0
+		g.fetchBurst(seg)
+	}
+}
+
+func maxOffset(blockSize, accessSize int) int {
+	m := blockSize - accessSize + 1
+	if m < 1 {
+		return 1
+	}
+	return m
+}
+
+// fetchBurst emits one instruction-fetch burst from a weighted code
+// block.
+func (g *generator) fetchBurst(seg segment) {
+	if len(seg.code) == 0 {
+		return
+	}
+	totalW := 0.0
+	for _, c := range seg.code {
+		totalW += c.weight
+	}
+	u := g.rng.Float64() * totalW
+	use := seg.code[len(seg.code)-1]
+	for _, c := range seg.code {
+		if u < c.weight {
+			use = c
+			break
+		}
+		u -= c.weight
+	}
+	id, ok := g.prog.Lookup(use.block)
+	if !ok {
+		panic("workloads: spec references unknown code block " + use.block)
+	}
+	b, err := g.prog.Block(id)
+	if err != nil {
+		panic(err)
+	}
+	words := seg.fetchWords
+	if words <= 0 {
+		words = 8
+	}
+	size := words * 4
+	if size > b.Size {
+		size = b.Size
+	}
+	off := g.cursor[use.block]
+	g.cursor[use.block] = (off + size) % maxOffset(b.Size, size)
+	g.events = append(g.events, trace.AccessEvent(trace.Access{
+		Op: trace.Read, Space: trace.Code,
+		Addr: b.Addr + uint32(off), Size: size, Think: 0,
+	}))
+}
+
+// emitCall pushes a frame: call marker, spill writes to the stack block,
+// and the matching return with reload reads. Frames are addressed by the
+// current call depth, exactly as a real stack: successive calls at the
+// same nesting level rewrite the same words, which is what makes the
+// stack the write-endurance hot spot of the paper's evaluation (Table
+// III's pure-STT lifetime collapses because of cells like these).
+func (g *generator) emitCall(seg segment) {
+	use := seg.code[g.rng.Intn(len(seg.code))]
+	if use.frameBytes == 0 {
+		return
+	}
+	id, ok := g.prog.Lookup(g.stack)
+	if !ok {
+		return
+	}
+	b, err := g.prog.Block(id)
+	if err != nil {
+		panic(err)
+	}
+	g.events = append(g.events, trace.CallEvent(use.frameBytes))
+	touch := use.stackTouch
+	if touch*4 > b.Size {
+		touch = b.Size / 4
+	}
+	base := g.stackDepth % maxOffset(b.Size, 4)
+	g.stackDepth += use.frameBytes
+	for i := 0; i < touch; i++ {
+		off := (base + i*4) % maxOffset(b.Size, 4)
+		g.events = append(g.events, trace.AccessEvent(trace.Access{
+			Op: trace.Write, Space: trace.Data,
+			Addr: b.Addr + uint32(off), Size: 4, Think: 0,
+		}))
+	}
+	for i := 0; i < touch; i++ {
+		off := (base + i*4) % maxOffset(b.Size, 4)
+		g.events = append(g.events, trace.AccessEvent(trace.Access{
+			Op: trace.Read, Space: trace.Data,
+			Addr: b.Addr + uint32(off), Size: 4, Think: 0,
+		}))
+	}
+	g.stackDepth -= use.frameBytes
+	g.events = append(g.events, trace.ReturnEvent())
+}

@@ -1,0 +1,540 @@
+package workloads
+
+import "ftspm/internal/program"
+
+// suiteSpecs declares the 12 MiBench-substitute workloads. Each spec's
+// block sizes and access character are modelled on the published
+// behaviour of the MiBench program it stands in for (working-set sizes,
+// read/write mixes, stack usage); see the per-spec comments.
+func suiteSpecs() []spec {
+	return []spec{
+		qsortSpec(), shaSpec(), crc32Spec(), dijkstraSpec(),
+		fftSpec(), stringsearchSpec(), bitcountSpec(), basicmathSpec(),
+		susanSpec(), jpegSpec(), adpcmSpec(), patriciaSpec(),
+	}
+}
+
+// qsort: recursion-heavy sort; the sorted array is read/write hot and the
+// stack churns with partition calls.
+func qsortSpec() spec {
+	return spec{
+		name: "qsort",
+		desc: "recursive quick-sort: write-hot sort array, deep stack churn",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 3 * 1024},
+			{"Partition", program.CodeBlock, 1 * 1024},
+			{"Compare", program.CodeBlock, 512},
+			{"SortArr", program.DataBlock, 2 * 1024},
+			{"Input", program.DataBlock, 4 * 1024},
+			{"Scratch", program.DataBlock, 1 * 1024},
+			{"Stack", program.StackBlock, 1024},
+		},
+		stack:       "Stack",
+		activations: 14000,
+		seed:        2001,
+		segments: []segment{
+			{
+				share: 0.15, // load input
+				patterns: []pattern{
+					{block: "Input", weight: 0.55, readFrac: 0.99, runLen: 30, burstWords: 4, sequential: true},
+					{block: "SortArr", weight: 0.45, readFrac: 0.05, runLen: 30, burstWords: 2, sequential: true},
+				},
+				code:       []codeUse{{block: "Main", weight: 1}},
+				think:      1,
+				fetchEvery: 4, fetchWords: 8,
+			},
+			{
+				share: 0.85, // recursive sorting
+				patterns: []pattern{
+					{block: "SortArr", weight: 0.70, readFrac: 0.58, runLen: 18, burstWords: 1},
+					{block: "Scratch", weight: 0.20, readFrac: 0.45, runLen: 10, burstWords: 1},
+					{block: "Input", weight: 0.10, readFrac: 1.0, runLen: 12, burstWords: 2},
+				},
+				code: []codeUse{
+					{block: "Partition", weight: 0.8, frameBytes: 96, stackTouch: 10},
+					{block: "Compare", weight: 0.2, frameBytes: 32, stackTouch: 4},
+				},
+				callEvery:  1,
+				think:      1,
+				fetchEvery: 2, fetchWords: 12,
+			},
+		},
+	}
+}
+
+// sha: hash over a message buffer; big read-only input, tiny hot state.
+func shaSpec() spec {
+	return spec{
+		name: "sha",
+		desc: "SHA digest: streaming read-only message, small write-hot state",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 2 * 1024},
+			{"ShaTransform", program.CodeBlock, 2 * 1024},
+			{"MsgBuf", program.DataBlock, 4 * 1024},
+			{"W", program.DataBlock, 512},
+			{"State", program.DataBlock, 256},
+			{"Konst", program.DataBlock, 512},
+			{"Stack", program.StackBlock, 512},
+		},
+		stack:       "Stack",
+		activations: 13000,
+		seed:        2002,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "MsgBuf", weight: 0.42, readFrac: 0.998, runLen: 24, burstWords: 4, sequential: true},
+					{block: "W", weight: 0.28, readFrac: 0.55, runLen: 20, burstWords: 1, sequential: true},
+					{block: "State", weight: 0.20, readFrac: 0.60, runLen: 12, burstWords: 1},
+					{block: "Konst", weight: 0.10, readFrac: 1.0, runLen: 10, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "ShaTransform", weight: 0.9, frameBytes: 64, stackTouch: 6},
+					{block: "Main", weight: 0.1},
+				},
+				callEvery:  4,
+				think:      1,
+				fetchEvery: 2, fetchWords: 16,
+			},
+		},
+	}
+}
+
+// crc32: pure streaming checksum; almost no writes.
+func crc32Spec() spec {
+	return spec{
+		name: "crc32",
+		desc: "CRC-32 checksum: sequential read-only stream and lookup table",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 1 * 1024},
+			{"CrcLoop", program.CodeBlock, 512},
+			{"Data", program.DataBlock, 6 * 1024},
+			{"CrcTab", program.DataBlock, 1024},
+			{"CrcState", program.DataBlock, 64},
+			{"Stack", program.StackBlock, 256},
+		},
+		stack:       "Stack",
+		activations: 12000,
+		seed:        2003,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "Data", weight: 0.55, readFrac: 1.0, runLen: 28, burstWords: 4, sequential: true},
+					{block: "CrcTab", weight: 0.35, readFrac: 1.0, runLen: 20, burstWords: 1},
+					{block: "CrcState", weight: 0.10, readFrac: 0.50, runLen: 6, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "CrcLoop", weight: 0.92},
+					{block: "Main", weight: 0.08},
+				},
+				think:      1,
+				fetchEvery: 3, fetchWords: 8,
+			},
+		},
+	}
+}
+
+// dijkstra: irregular reads over an adjacency matrix, moderate writes to
+// distance/queue state.
+func dijkstraSpec() spec {
+	return spec{
+		name: "dijkstra",
+		desc: "Dijkstra shortest path: random adjacency reads, warm dist/queue writes",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 2 * 1024},
+			{"Relax", program.CodeBlock, 1 * 1024},
+			{"AdjMatrix", program.DataBlock, 6 * 1024},
+			{"Dist", program.DataBlock, 1024},
+			{"Queue", program.DataBlock, 512},
+			{"Prev", program.DataBlock, 1024},
+			{"Stack", program.StackBlock, 512},
+		},
+		stack:       "Stack",
+		activations: 13000,
+		seed:        2004,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "AdjMatrix", weight: 0.50, readFrac: 0.999, runLen: 22, burstWords: 2},
+					{block: "Dist", weight: 0.22, readFrac: 0.70, runLen: 10, burstWords: 1},
+					{block: "Queue", weight: 0.16, readFrac: 0.55, runLen: 8, burstWords: 1},
+					{block: "Prev", weight: 0.12, readFrac: 0.80, runLen: 8, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "Relax", weight: 0.75, frameBytes: 48, stackTouch: 5},
+					{block: "Main", weight: 0.25},
+				},
+				callEvery:  3,
+				think:      2,
+				fetchEvery: 2, fetchWords: 10,
+			},
+		},
+	}
+}
+
+// fft: butterfly passes over real/imaginary arrays with a read-only
+// twiddle table.
+func fftSpec() spec {
+	return spec{
+		name: "fft",
+		desc: "radix-2 FFT: balanced read/write butterflies, read-only twiddles",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 2 * 1024},
+			{"Butterfly", program.CodeBlock, 1536},
+			// 256-point transform: 1 KB real + 1 KB imaginary, so the
+			// write-hot pair can co-reside in the 2 KB ECC region.
+			{"Real", program.DataBlock, 1 * 1024},
+			{"Imag", program.DataBlock, 1 * 1024},
+			{"Twiddle", program.DataBlock, 2 * 1024},
+			{"Stack", program.StackBlock, 512},
+		},
+		stack:       "Stack",
+		activations: 1400,
+		seed:        2005,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					// Butterfly passes stream through a whole array per
+					// reference; the long runs let the on-line transfers
+					// of the time-shared ECC region amortize.
+					{block: "Real", weight: 0.33, readFrac: 0.62, runLen: 250, burstWords: 1, sequential: true},
+					{block: "Imag", weight: 0.33, readFrac: 0.62, runLen: 250, burstWords: 1, sequential: true},
+					{block: "Twiddle", weight: 0.34, readFrac: 1.0, runLen: 200, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "Butterfly", weight: 0.88, frameBytes: 80, stackTouch: 8},
+					{block: "Main", weight: 0.12},
+				},
+				callEvery:  6,
+				think:      2,
+				fetchEvery: 2, fetchWords: 12,
+			},
+		},
+	}
+}
+
+// stringsearch: Boyer-Moore-style scan; reads dominate utterly.
+func stringsearchSpec() spec {
+	return spec{
+		name: "stringsearch",
+		desc: "Boyer-Moore search: read-only text/pattern, tiny match output",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 1536},
+			{"BMSearch", program.CodeBlock, 1 * 1024},
+			{"Text", program.DataBlock, 6 * 1024},
+			{"Patterns", program.DataBlock, 512},
+			{"ShiftTab", program.DataBlock, 256},
+			{"Matches", program.DataBlock, 256},
+			{"Stack", program.StackBlock, 256},
+		},
+		stack:       "Stack",
+		activations: 12000,
+		seed:        2006,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "Text", weight: 0.62, readFrac: 1.0, runLen: 26, burstWords: 2, sequential: true},
+					{block: "Patterns", weight: 0.16, readFrac: 1.0, runLen: 10, burstWords: 1},
+					{block: "ShiftTab", weight: 0.14, readFrac: 0.85, runLen: 8, burstWords: 1},
+					{block: "Matches", weight: 0.08, readFrac: 0.30, runLen: 4, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "BMSearch", weight: 0.85, frameBytes: 40, stackTouch: 4},
+					{block: "Main", weight: 0.15},
+				},
+				callEvery:  8,
+				think:      1,
+				fetchEvery: 2, fetchWords: 10,
+			},
+		},
+	}
+}
+
+// bitcount: compute-bound bit tricks; memory traffic is light and mostly
+// reads.
+func bitcountSpec() spec {
+	return spec{
+		name: "bitcount",
+		desc: "bit-counting kernels: compute-bound, light read-mostly traffic",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 1 * 1024},
+			{"BitKernels", program.CodeBlock, 1 * 1024},
+			{"Bits", program.DataBlock, 2 * 1024},
+			{"LUT", program.DataBlock, 512},
+			{"Counters", program.DataBlock, 128},
+			{"Stack", program.StackBlock, 256},
+		},
+		stack:       "Stack",
+		activations: 11000,
+		seed:        2007,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "Bits", weight: 0.55, readFrac: 1.0, runLen: 20, burstWords: 2, sequential: true},
+					{block: "LUT", weight: 0.30, readFrac: 1.0, runLen: 12, burstWords: 1},
+					{block: "Counters", weight: 0.15, readFrac: 0.45, runLen: 6, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "BitKernels", weight: 0.9, frameBytes: 24, stackTouch: 3},
+					{block: "Main", weight: 0.1},
+				},
+				callEvery:  10,
+				think:      4,
+				fetchEvery: 1, fetchWords: 12,
+			},
+		},
+	}
+}
+
+// basicmath: cubic/angle math; dominated by compute with small data.
+func basicmathSpec() spec {
+	return spec{
+		name: "basicmath",
+		desc: "basic math kernels: compute-dominated, small mixed data",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 2 * 1024},
+			{"Solvers", program.CodeBlock, 2 * 1024},
+			{"Coef", program.DataBlock, 1024},
+			{"Results", program.DataBlock, 512},
+			{"Temp", program.DataBlock, 256},
+			{"Stack", program.StackBlock, 512},
+		},
+		stack:       "Stack",
+		activations: 11000,
+		seed:        2008,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "Coef", weight: 0.45, readFrac: 0.99, runLen: 12, burstWords: 1},
+					{block: "Results", weight: 0.30, readFrac: 0.35, runLen: 8, burstWords: 1, sequential: true},
+					{block: "Temp", weight: 0.25, readFrac: 0.50, runLen: 8, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "Solvers", weight: 0.85, frameBytes: 56, stackTouch: 6},
+					{block: "Main", weight: 0.15},
+				},
+				callEvery:  5,
+				think:      4,
+				fetchEvery: 1, fetchWords: 14,
+			},
+		},
+	}
+}
+
+// susan: image smoothing; large read-only image, write-hot output tile.
+func susanSpec() spec {
+	return spec{
+		name: "susan",
+		desc: "SUSAN image smoothing: big read-only image, write-hot output tile",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 2 * 1024},
+			{"SusanSmooth", program.CodeBlock, 2 * 1024},
+			{"Image", program.DataBlock, 6 * 1024},
+			{"OutTile", program.DataBlock, 2 * 1024},
+			{"BrightLUT", program.DataBlock, 512},
+			{"Stack", program.StackBlock, 512},
+		},
+		stack:       "Stack",
+		activations: 14000,
+		seed:        2009,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "Image", weight: 0.52, readFrac: 0.999, runLen: 24, burstWords: 2, sequential: true},
+					{block: "OutTile", weight: 0.28, readFrac: 0.12, runLen: 14, burstWords: 1, sequential: true},
+					{block: "BrightLUT", weight: 0.20, readFrac: 1.0, runLen: 10, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "SusanSmooth", weight: 0.9, frameBytes: 72, stackTouch: 7},
+					{block: "Main", weight: 0.1},
+				},
+				callEvery:  6,
+				think:      1,
+				fetchEvery: 2, fetchWords: 14,
+			},
+		},
+	}
+}
+
+// jpeg: decode-style pipeline with phases: read input, transform through
+// a scratch buffer, write output.
+func jpegSpec() spec {
+	return spec{
+		name: "jpeg",
+		desc: "JPEG-style decode: phased input read, DCT scratch, output write",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 3 * 1024},
+			{"IDCT", program.CodeBlock, 2 * 1024},
+			{"Huffman", program.CodeBlock, 1536},
+			{"Input", program.DataBlock, 4 * 1024},
+			{"Output", program.DataBlock, 2 * 1024},
+			{"DCTBuf", program.DataBlock, 512},
+			{"QuantTab", program.DataBlock, 256},
+			{"Stack", program.StackBlock, 512},
+		},
+		stack:       "Stack",
+		activations: 1700,
+		seed:        2010,
+		segments: []segment{
+			{
+				share: 0.35, // entropy decode
+				patterns: []pattern{
+					{block: "Input", weight: 0.70, readFrac: 1.0, runLen: 180, burstWords: 2, sequential: true},
+					{block: "DCTBuf", weight: 0.30, readFrac: 0.30, runLen: 30, burstWords: 1, sequential: true},
+				},
+				code: []codeUse{
+					{block: "Huffman", weight: 0.9, frameBytes: 48, stackTouch: 5},
+					{block: "Main", weight: 0.1},
+				},
+				callEvery:  5,
+				think:      1,
+				fetchEvery: 2, fetchWords: 12,
+			},
+			{
+				share: 0.65, // IDCT + color out
+				patterns: []pattern{
+					{block: "DCTBuf", weight: 0.32, readFrac: 0.55, runLen: 40, burstWords: 1},
+					{block: "QuantTab", weight: 0.18, readFrac: 1.0, runLen: 60, burstWords: 1},
+					{block: "Output", weight: 0.34, readFrac: 0.10, runLen: 120, burstWords: 2, sequential: true},
+					{block: "Input", weight: 0.16, readFrac: 1.0, runLen: 80, burstWords: 2, sequential: true},
+				},
+				code: []codeUse{
+					{block: "IDCT", weight: 0.85, frameBytes: 64, stackTouch: 6},
+					{block: "Main", weight: 0.15},
+				},
+				callEvery:  4,
+				think:      1,
+				fetchEvery: 2, fetchWords: 14,
+			},
+		},
+	}
+}
+
+// adpcm: codec streaming: sequential read of PCM, sequential write of
+// compressed output, tiny hot state.
+func adpcmSpec() spec {
+	return spec{
+		name: "adpcm",
+		desc: "ADPCM codec: sequential PCM reads, sequential compressed writes",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 1 * 1024},
+			{"Coder", program.CodeBlock, 1 * 1024},
+			{"PCM", program.DataBlock, 4 * 1024},
+			{"Compressed", program.DataBlock, 2 * 1024},
+			{"StepTab", program.DataBlock, 512},
+			{"CoderState", program.DataBlock, 64},
+			{"Stack", program.StackBlock, 256},
+		},
+		stack:       "Stack",
+		activations: 13000,
+		seed:        2011,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "PCM", weight: 0.44, readFrac: 0.999, runLen: 24, burstWords: 2, sequential: true},
+					{block: "Compressed", weight: 0.24, readFrac: 0.05, runLen: 16, burstWords: 1, sequential: true},
+					{block: "StepTab", weight: 0.22, readFrac: 1.0, runLen: 10, burstWords: 1},
+					{block: "CoderState", weight: 0.10, readFrac: 0.50, runLen: 6, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "Coder", weight: 0.9, frameBytes: 32, stackTouch: 4},
+					{block: "Main", weight: 0.1},
+				},
+				callEvery:  7,
+				think:      1,
+				fetchEvery: 2, fetchWords: 10,
+			},
+		},
+	}
+}
+
+// patricia: trie insertion/lookup; pointer-chasing reads with node
+// updates and recursion.
+func patriciaSpec() spec {
+	return spec{
+		name: "patricia",
+		desc: "Patricia trie: pointer-chasing node reads, update writes, recursion",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 2 * 1024},
+			{"Insert", program.CodeBlock, 1536},
+			{"Lookup", program.CodeBlock, 1 * 1024},
+			{"Nodes", program.DataBlock, 4 * 1024},
+			{"Keys", program.DataBlock, 2 * 1024},
+			{"Results", program.DataBlock, 256},
+			{"Stack", program.StackBlock, 1024},
+		},
+		stack:       "Stack",
+		activations: 13000,
+		seed:        2012,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "Nodes", weight: 0.52, readFrac: 0.92, runLen: 14, burstWords: 1},
+					{block: "Keys", weight: 0.30, readFrac: 1.0, runLen: 12, burstWords: 1, sequential: true},
+					{block: "Results", weight: 0.18, readFrac: 0.25, runLen: 5, burstWords: 1},
+				},
+				code: []codeUse{
+					{block: "Insert", weight: 0.45, frameBytes: 88, stackTouch: 9},
+					{block: "Lookup", weight: 0.45, frameBytes: 56, stackTouch: 6},
+					{block: "Main", weight: 0.10},
+				},
+				callEvery:  2,
+				think:      2,
+				fetchEvery: 2, fetchWords: 10,
+			},
+		},
+	}
+}
+
+// extraSpecs are workloads resolvable by name but outside the canonical
+// 12-program suite (so the recorded Figs. 4-8 numbers stay stable).
+func extraSpecs() []spec {
+	return []spec{matmulSpec()}
+}
+
+// matmul: dense matrix multiply with a write-hot 4 KB output tile — too
+// large for either 2 KB SRAM region as one block, the showcase for the
+// fine-grained mapping ablation ([15]).
+func matmulSpec() spec {
+	return spec{
+		name: "matmul",
+		desc: "dense matrix multiply: read-only A/B, write-hot 4 KB output tile",
+		blocks: []blockSpec{
+			{"Main", program.CodeBlock, 2 * 1024},
+			{"Kernel", program.CodeBlock, 2 * 1024},
+			{"A", program.DataBlock, 4 * 1024},
+			{"B", program.DataBlock, 4 * 1024},
+			{"Out", program.DataBlock, 4 * 1024},
+			{"Stack", program.StackBlock, 512},
+		},
+		stack:       "Stack",
+		activations: 1600,
+		seed:        2013,
+		segments: []segment{
+			{
+				share: 1.0,
+				patterns: []pattern{
+					{block: "A", weight: 0.34, readFrac: 1.0, runLen: 220, burstWords: 2, sequential: true},
+					{block: "B", weight: 0.34, readFrac: 1.0, runLen: 220, burstWords: 2},
+					{block: "Out", weight: 0.32, readFrac: 0.35, runLen: 260, burstWords: 1, sequential: true},
+				},
+				code: []codeUse{
+					{block: "Kernel", weight: 0.9, frameBytes: 64, stackTouch: 6},
+					{block: "Main", weight: 0.1},
+				},
+				callEvery:  4,
+				think:      1,
+				fetchEvery: 2, fetchWords: 12,
+			},
+		},
+	}
+}

@@ -1,0 +1,266 @@
+package workloads
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ftspm/internal/program"
+	"ftspm/internal/trace"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 12 {
+		t.Fatalf("suite has %d workloads, want 12", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, w := range suite {
+		if w.Name == "" || w.Description == "" {
+			t.Errorf("workload missing name/description: %+v", w.Name)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Program() == nil || w.Program().NumBlocks() < 4 {
+			t.Errorf("%s: implausible program", w.Name)
+		}
+	}
+	if got := Names(); len(got) != 12 {
+		t.Errorf("Names() returned %d entries", len(got))
+	}
+	if len(All()) != 13 {
+		t.Errorf("All() = %d workloads, want 13 (case study + suite)", len(All()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("sha")
+	if err != nil || w.Name != "sha" {
+		t.Errorf("ByName(sha) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("nope"); !errors.Is(err, ErrUnknownWorkload) {
+		t.Errorf("ByName(nope) err = %v", err)
+	}
+	cs, err := ByName(CaseStudyName)
+	if err != nil || cs.Name != CaseStudyName {
+		t.Errorf("ByName(casestudy) = %v, %v", cs.Name, err)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	for _, name := range []string{"qsort", "crc32", CaseStudyName} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := trace.Collect(w.Trace(0.05), 0)
+		b := trace.Collect(w.Trace(0.05), 0)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: trace not deterministic", name)
+		}
+		if len(a) < 100 {
+			t.Errorf("%s: trace too short (%d events) even at scale 0.05", name, len(a))
+		}
+	}
+}
+
+func TestTraceScale(t *testing.T) {
+	w := CaseStudy()
+	small := trace.Summarize(w.Trace(0.02))
+	big := trace.Summarize(w.Trace(0.08))
+	ratio := float64(big.Accesses()) / float64(small.Accesses())
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Errorf("4x scale produced %.2fx accesses", ratio)
+	}
+	// Non-positive scale falls back to the reference length.
+	def := trace.Summarize(w.Trace(-1))
+	ref := trace.Summarize(w.Trace(1.0))
+	if def.Events != ref.Events {
+		t.Errorf("scale<=0 events = %d, want reference %d", def.Events, ref.Events)
+	}
+}
+
+func TestTraceAddressesResolve(t *testing.T) {
+	// Every generated access must land inside a block of the program, in
+	// the right address space.
+	for _, w := range All() {
+		st := w.Trace(0.03)
+		p := w.Program()
+		for {
+			e, ok := st.Next()
+			if !ok {
+				break
+			}
+			if e.Kind != trace.KindAccess {
+				continue
+			}
+			id, ok := p.FindAddr(e.Access.Addr)
+			if !ok {
+				t.Fatalf("%s: access at %#x outside all blocks", w.Name, e.Access.Addr)
+			}
+			b, err := p.Block(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Access.Space == trace.Code && b.Kind != program.CodeBlock {
+				t.Fatalf("%s: code access hit %s", w.Name, b)
+			}
+			if e.Access.Space == trace.Data && !b.Kind.IsData() {
+				t.Fatalf("%s: data access hit %s", w.Name, b)
+			}
+			if e.Access.Size < 1 {
+				t.Fatalf("%s: access size %d", w.Name, e.Access.Size)
+			}
+		}
+	}
+}
+
+func TestCaseStudyCharacter(t *testing.T) {
+	// Verify the Table I shape: Array2/4 read-mostly, Array1/3 with
+	// roughly 2:1 read:write, stack balanced, Mul the hottest code block,
+	// Main too big for the 16 KB I-SPM.
+	w := CaseStudy()
+	p := w.Program()
+
+	main, ok := p.Lookup("Main")
+	if !ok {
+		t.Fatal("no Main block")
+	}
+	mb, err := p.Block(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Size <= 16*1024 {
+		t.Errorf("Main = %d bytes; must exceed the 16 KB I-SPM", mb.Size)
+	}
+
+	reads := map[string]int{}
+	writes := map[string]int{}
+	st := w.Trace(0.2)
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		if e.Kind != trace.KindAccess {
+			continue
+		}
+		id, ok := p.FindAddr(e.Access.Addr)
+		if !ok {
+			t.Fatal("unresolvable access")
+		}
+		b, err := p.Block(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Access.Op == trace.Read {
+			reads[b.Name]++
+		} else {
+			writes[b.Name]++
+		}
+	}
+
+	for _, arr := range []string{"Array2", "Array4"} {
+		if writes[arr]*100 > reads[arr] {
+			t.Errorf("%s: %d writes vs %d reads; must be read-mostly (Table I)",
+				arr, writes[arr], reads[arr])
+		}
+	}
+	for _, arr := range []string{"Array1", "Array3"} {
+		r := float64(reads[arr]) / float64(writes[arr]+1)
+		if r < 1.2 || r > 4.0 {
+			t.Errorf("%s: read/write ratio %.2f, want ~2 (Table I)", arr, r)
+		}
+	}
+	if reads["Mul"] <= reads["Add"] || reads["Mul"] <= reads["Main"] {
+		t.Errorf("Mul must be the hottest code block: Mul=%d Add=%d Main=%d",
+			reads["Mul"], reads["Add"], reads["Main"])
+	}
+	if writes["Stack"] == 0 || reads["Stack"] == 0 {
+		t.Error("stack traffic missing")
+	}
+}
+
+func TestSuiteHasDiverseWriteMixes(t *testing.T) {
+	// Fig. 4's point is that different programs use the regions very
+	// differently; the suite must span read-mostly to write-heavy.
+	var minFrac, maxFrac = 1.0, 0.0
+	for _, w := range Suite() {
+		st := trace.Summarize(w.Trace(0.05))
+		frac := float64(st.Writes) / float64(st.Accesses())
+		if frac < minFrac {
+			minFrac = frac
+		}
+		if frac > maxFrac {
+			maxFrac = frac
+		}
+	}
+	if minFrac > 0.10 {
+		t.Errorf("no read-dominated workload: min write fraction %.3f", minFrac)
+	}
+	if maxFrac < 0.20 {
+		t.Errorf("no write-heavy workload: max write fraction %.3f", maxFrac)
+	}
+}
+
+func TestCallsBalanced(t *testing.T) {
+	for _, w := range All() {
+		st := trace.Summarize(w.Trace(0.05))
+		if st.Calls != st.Returns {
+			t.Errorf("%s: %d calls vs %d returns", w.Name, st.Calls, st.Returns)
+		}
+		if st.Calls > 0 && st.MaxStackBytes == 0 {
+			t.Errorf("%s: calls but no stack depth", w.Name)
+		}
+	}
+}
+
+func TestSuiteCharacterBands(t *testing.T) {
+	// Locks each generator to the access character its spec documents
+	// (and that EXPERIMENTS.md's recorded numbers depend on): the data
+	// write fraction per workload must stay inside its band.
+	bands := map[string][2]float64{
+		"qsort":        {0.25, 0.50}, // write-hot sort + stack churn
+		"sha":          {0.10, 0.30},
+		"crc32":        {0.00, 0.10}, // nearly pure reads
+		"dijkstra":     {0.05, 0.25},
+		"fft":          {0.20, 0.45}, // balanced butterflies
+		"stringsearch": {0.00, 0.12},
+		"bitcount":     {0.00, 0.15},
+		"basicmath":    {0.15, 0.40},
+		"susan":        {0.15, 0.40}, // write-hot output tile
+		"jpeg":         {0.15, 0.45},
+		"adpcm":        {0.10, 0.35},
+		"patricia":     {0.10, 0.35},
+	}
+	for _, w := range Suite() {
+		band, ok := bands[w.Name]
+		if !ok {
+			t.Errorf("no character band for %s — add one", w.Name)
+			continue
+		}
+		st := w.Trace(0.1)
+		var dataReads, dataWrites int
+		for {
+			e, ok := st.Next()
+			if !ok {
+				break
+			}
+			if e.Kind != trace.KindAccess || e.Access.Space != trace.Data {
+				continue
+			}
+			if e.Access.Op == trace.Read {
+				dataReads++
+			} else {
+				dataWrites++
+			}
+		}
+		frac := float64(dataWrites) / float64(dataReads+dataWrites)
+		if frac < band[0] || frac > band[1] {
+			t.Errorf("%s: data write fraction %.3f outside documented band [%.2f, %.2f]",
+				w.Name, frac, band[0], band[1])
+		}
+	}
+}
