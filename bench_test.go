@@ -199,6 +199,37 @@ func BenchmarkPerf_Overhead(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluate times one full single-run pipeline — trace
+// generation, profile, MDA, simulate, AVF, endurance — with allocation
+// counters, so the cost of trace materialization stays visible.
+func BenchmarkEvaluate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := ftspm.Evaluate("sha", ftspm.FTSPM, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Sim.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkRunSweep times the full 12-workload x 3-structure sweep, the
+// unit of every figure regeneration and fault-injection campaign.
+func BenchmarkRunSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.RunSweep(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sw.Outcomes) != 12 {
+			b.Fatalf("sweep rows = %d, want 12", len(sw.Outcomes))
+		}
+	}
+}
+
 // BenchmarkPipeline_SingleRun times the full single-workload pipeline —
 // profile, MDA, simulate, AVF, endurance — the unit everything above is
 // built from.

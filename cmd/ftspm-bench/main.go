@@ -8,11 +8,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"ftspm/internal/experiments"
 	"ftspm/internal/report"
@@ -25,14 +29,77 @@ func main() {
 	}
 }
 
+// sweepMeasurement is one BENCH_sweep.json / -perfjson record: the
+// wall-clock and allocation cost of a full RunSweep, so the sweep
+// engine's perf trajectory is tracked across PRs.
+type sweepMeasurement struct {
+	Benchmark  string  `json:"benchmark"`
+	Scale      float64 `json:"scale"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	WallMS     float64 `json:"wall_ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Allocs     uint64  `json:"allocs"`
+}
+
+// appendSweepMeasurement appends one JSON line describing the sweep
+// that just ran (allocation deltas are process-wide, so run with a
+// quiet process for clean numbers).
+func appendSweepMeasurement(path string, scale float64, wall time.Duration, before runtime.MemStats) error {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	m := sweepMeasurement{
+		Benchmark:  "RunSweep",
+		Scale:      scale,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Allocs:     after.Mallocs - before.Mallocs,
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	return enc.Encode(m)
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftspm-bench", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.25, "trace length relative to the reference")
 	outDir := fs.String("out", "", "directory for .txt/.csv result files (empty: stdout only)")
 	ablations := fs.Bool("ablations", false, "also run the design-choice ablation studies")
 	jsonPath := fs.String("json", "", "also write a machine-readable sweep summary to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	perfJSON := fs.String("perfjson", "", "append a sweep wall-clock/allocation measurement to this JSON-lines file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftspm-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ftspm-bench: memprofile:", err)
+			}
+		}()
 	}
 	opts := experiments.Options{Scale: *scale}
 
@@ -120,9 +187,18 @@ func run(args []string, out io.Writer) error {
 
 	// Full-suite sweep (Section V figures).
 	fmt.Fprintln(out, "running the 12-workload x 3-structure sweep ...")
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sweepStart := time.Now()
 	sw, err := experiments.RunSweep(opts)
 	if err != nil {
 		return err
+	}
+	if *perfJSON != "" {
+		if err := appendSweepMeasurement(*perfJSON, *scale, time.Since(sweepStart), before); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "appended sweep measurement to %s\n", *perfJSON)
 	}
 	f4, err := experiments.Fig4(sw)
 	if err != nil {

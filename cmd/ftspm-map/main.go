@@ -79,7 +79,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	prof, err := profile.Run(w.Program(), w.Trace(*scale))
+	prof, err := profile.Run(w.Program(), w.TraceStream(*scale))
 	if err != nil {
 		return err
 	}

@@ -92,7 +92,10 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		plan, err := schedule.Build(w.Program(), o.Mapping.Placement, w.Trace(*scale),
+		// The planner and the replayed execution stream the trace
+		// instead of materializing it; the seeded generator guarantees
+		// both see the exact sequence the MDA's profile was built from.
+		plan, err := schedule.Build(w.Program(), o.Mapping.Placement, w.TraceStream(*scale),
 			schedule.RegionWords(o.Spec.ISPM), schedule.RegionWords(o.Spec.DSPM))
 		if err != nil {
 			return err
@@ -101,7 +104,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := machine.RunWithPlan(w.Trace(*scale), plan)
+		res, err := machine.RunWithPlan(w.TraceStream(*scale), plan)
 		if err != nil {
 			return err
 		}

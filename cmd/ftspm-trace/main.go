@@ -75,13 +75,16 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		sink = f
 	}
-	stream := w.Trace(*scale)
+	// Record straight from the streaming generator: the trace is never
+	// materialized, so arbitrarily long recordings run in constant
+	// memory.
+	stream := &trace.CountingStream{S: w.TraceStream(*scale)}
 	if err := trace.WriteAll(sink, stream); err != nil {
 		return err
 	}
 	if *outPath != "" && *outPath != "-" {
 		fmt.Fprintf(out, "recorded %d events of %s (scale %.2f) to %s\n",
-			stream.Len(), w.Name, *scale, *outPath)
+			stream.N, w.Name, *scale, *outPath)
 	}
 	return nil
 }

@@ -18,9 +18,11 @@ package avf
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"ftspm/internal/faults"
 	"ftspm/internal/profile"
+	"ftspm/internal/program"
 	"ftspm/internal/spm"
 )
 
@@ -169,7 +171,17 @@ func Compute(prof *profile.Profile, place spm.Placement, dist faults.MBUDistribu
 		}, nil
 	case ModePerBlock:
 		rep := Report{Mode: mode}
-		for id, kind := range place {
+		// Iterate the placement in ascending block order, not map
+		// order: float accumulation is not associative, so a wandering
+		// iteration order would smear the last ulp of the AVF across
+		// runs — the sweep engine promises bit-identical outcomes.
+		ids := make([]program.BlockID, 0, len(place))
+		for id := range place {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			kind := place[id]
 			if int(id) < 0 || int(id) >= len(prof.Blocks) {
 				return Report{}, fmt.Errorf("avf: placement references unknown block %d", id)
 			}

@@ -16,6 +16,7 @@ import (
 	"ftspm/internal/schedule"
 	"ftspm/internal/sim"
 	"ftspm/internal/spm"
+	"ftspm/internal/trace"
 	"ftspm/internal/workloads"
 )
 
@@ -23,6 +24,19 @@ import (
 // it, holding everything else at the defaults. They are extensions
 // beyond the paper's own evaluation (its "according to system
 // requirements" knobs), indexed in DESIGN.md §4.
+
+// ablationTraces caches materialized traces for the ablation drivers,
+// which replay the same (workload, scale) trace many times in a row —
+// once for the profile, then once per swept design point. Cached
+// traces are immutable and the replay streams own their cursors, so
+// the shared cache never breaks determinism.
+var ablationTraces = workloads.NewTraceCache(2)
+
+// cachedTrace returns a replay stream over the (possibly cached)
+// materialized trace of (w, scale).
+func cachedTrace(w workloads.Workload, scale float64) trace.Stream {
+	return ablationTraces.Stream(w, scale)
+}
 
 // ScheduleComparison contrasts the two implementations of the on-line
 // phase: on-demand LRU transfers versus the statically planned (SMI,
@@ -47,7 +61,7 @@ func AblationSchedule(workloadName string, opts Options) (ScheduleComparison, er
 		return ScheduleComparison{}, err
 	}
 	spec := core.MustSpec(core.StructFTSPM)
-	prof, err := profile.Run(w.Program(), w.Trace(opts.Scale))
+	prof, err := profile.Run(w.Program(), cachedTrace(w, opts.Scale))
 	if err != nil {
 		return ScheduleComparison{}, err
 	}
@@ -62,16 +76,16 @@ func AblationSchedule(workloadName string, opts Options) (ScheduleComparison, er
 			return sim.Result{}, err
 		}
 		if plan == nil {
-			return m.Run(w.Trace(opts.Scale))
+			return m.Run(cachedTrace(w, opts.Scale))
 		}
-		return m.RunWithPlan(w.Trace(opts.Scale), plan)
+		return m.RunWithPlan(cachedTrace(w, opts.Scale), plan)
 	}
 
 	onDemand, err := runMachine(nil)
 	if err != nil {
 		return ScheduleComparison{}, err
 	}
-	plan, err := schedule.Build(w.Program(), mapping.Placement, w.Trace(opts.Scale),
+	plan, err := schedule.Build(w.Program(), mapping.Placement, cachedTrace(w, opts.Scale),
 		schedule.RegionWords(spec.ISPM), schedule.RegionWords(spec.DSPM))
 	if err != nil {
 		return ScheduleComparison{}, err
@@ -128,7 +142,7 @@ type SplitPoint struct {
 func AblationRegionSplit(opts Options) ([]SplitPoint, *report.Table, error) {
 	opts = opts.normalize()
 	w := workloads.CaseStudy()
-	prof, err := profile.Run(w.Program(), w.Trace(opts.Scale))
+	prof, err := profile.Run(w.Program(), cachedTrace(w, opts.Scale))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -183,7 +197,7 @@ func AblationPriorities(workloadName string, opts Options) (*report.Table, error
 	if err != nil {
 		return nil, err
 	}
-	prof, err := profile.Run(w.Program(), w.Trace(opts.Scale))
+	prof, err := profile.Run(w.Program(), cachedTrace(w, opts.Scale))
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +252,7 @@ type ThresholdPoint struct {
 func AblationWriteThreshold(opts Options) ([]ThresholdPoint, *report.Table, error) {
 	opts = opts.normalize()
 	w := workloads.CaseStudy()
-	prof, err := profile.Run(w.Program(), w.Trace(opts.Scale))
+	prof, err := profile.Run(w.Program(), cachedTrace(w, opts.Scale))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -617,7 +631,7 @@ func AblationGranularity(workloadName string, opts Options) ([]GranularityPoint,
 	spec := core.MustSpec(core.StructFTSPM)
 
 	evalOn := func(label string, prog *program.Program) (GranularityPoint, error) {
-		prof, err := profile.Run(prog, w.Trace(opts.Scale))
+		prof, err := profile.Run(prog, cachedTrace(w, opts.Scale))
 		if err != nil {
 			return GranularityPoint{}, err
 		}
@@ -629,7 +643,7 @@ func AblationGranularity(workloadName string, opts Options) ([]GranularityPoint,
 		if err != nil {
 			return GranularityPoint{}, err
 		}
-		res, err := machine.Run(w.Trace(opts.Scale))
+		res, err := machine.Run(cachedTrace(w, opts.Scale))
 		if err != nil {
 			return GranularityPoint{}, err
 		}
@@ -712,7 +726,7 @@ func ValidateAVF(workloadName string, strikesPerAccess float64, seed int64,
 	if err != nil {
 		return nil, nil, err
 	}
-	prof, err := profile.Run(w.Program(), w.Trace(opts.Scale))
+	prof, err := profile.Run(w.Program(), cachedTrace(w, opts.Scale))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -738,7 +752,7 @@ func ValidateAVF(workloadName string, strikesPerAccess float64, seed int64,
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := machine.Run(w.Trace(opts.Scale))
+		res, err := machine.Run(cachedTrace(w, opts.Scale))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -792,7 +806,7 @@ func AblationTechNode(workloadName string, opts Options) ([]NodePoint, *report.T
 	if err != nil {
 		return nil, nil, err
 	}
-	prof, err := profile.Run(w.Program(), w.Trace(opts.Scale))
+	prof, err := profile.Run(w.Program(), cachedTrace(w, opts.Scale))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ftspm/internal/avf"
 	"ftspm/internal/core"
@@ -18,6 +20,7 @@ import (
 	"ftspm/internal/profile"
 	"ftspm/internal/sim"
 	"ftspm/internal/spm"
+	"ftspm/internal/trace"
 	"ftspm/internal/workloads"
 )
 
@@ -82,14 +85,16 @@ type Outcome struct {
 var ErrUnknownWorkload = workloads.ErrUnknownWorkload
 
 // Evaluate runs the full pipeline — profile, MDA, simulate, AVF,
-// endurance — for one workload on one structure.
+// endurance — for one workload on one structure. Both the profiler and
+// the simulator consume streaming trace generators, so a single run
+// never materializes the trace.
 func Evaluate(w workloads.Workload, structure core.Structure, opts Options) (Outcome, error) {
 	opts = opts.normalize()
 	spec, err := core.NewSpec(structure)
 	if err != nil {
 		return Outcome{}, err
 	}
-	prof, err := profile.Run(w.Program(), w.Trace(opts.Scale))
+	prof, err := profile.Run(w.Program(), w.TraceStream(opts.Scale))
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: profile %s: %w", w.Name, err)
 	}
@@ -98,7 +103,18 @@ func Evaluate(w workloads.Workload, structure core.Structure, opts Options) (Out
 
 // evaluateSpec is the Evaluate body for a pre-computed profile and a
 // possibly-customized structure spec (used by the ablation studies).
+// The simulated trace is regenerated as a stream.
 func evaluateSpec(w workloads.Workload, spec core.Spec, prof *profile.Profile, opts Options) (Outcome, error) {
+	return evaluateSpecStream(w, spec, prof, w.TraceStream(opts.normalize().Scale), opts)
+}
+
+// evaluateSpecStream is the shared evaluation body: everything after
+// profiling, consuming the simulated trace from the given stream. The
+// sweep engine passes replay streams over one shared materialized
+// trace; the single-run paths pass fresh generators. Profiles are only
+// read here, so one profile may back any number of concurrent calls.
+func evaluateSpecStream(w workloads.Workload, spec core.Spec, prof *profile.Profile,
+	st trace.Stream, opts Options) (Outcome, error) {
 	opts = opts.normalize()
 	structure := spec.Structure
 	mapping, err := core.MapBlocks(prof, spec, opts.Thresholds, opts.Priority)
@@ -109,7 +125,7 @@ func evaluateSpec(w workloads.Workload, spec core.Spec, prof *profile.Profile, o
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: build %s/%v: %w", w.Name, structure, err)
 	}
-	res, err := machine.Run(w.Trace(opts.Scale))
+	res, err := machine.Run(st)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: run %s/%v: %w", w.Name, structure, err)
 	}
@@ -169,21 +185,51 @@ type Sweep struct {
 	Options Options
 }
 
-// RunSweep evaluates the suite. The 36 (workload, structure) runs are
-// independent, so they execute on a bounded worker pool; results are
-// deterministic regardless of scheduling (every generator is seeded and
-// each run owns its machine).
+// RunSweep evaluates the suite. See RunSweepContext.
 func RunSweep(opts Options) (*Sweep, error) {
+	return RunSweepContext(context.Background(), opts)
+}
+
+// sharedWorkload is the once-per-workload state of a sweep: the
+// materialized trace and its profile, computed by whichever worker
+// reaches the workload first and read-shared by the structure runs.
+// remaining counts the structure runs still owing a replay; the last
+// one drops the trace so at most a worker-pool's worth of traces is
+// ever live.
+type sharedWorkload struct {
+	once      sync.Once
+	events    []trace.Event
+	prof      *profile.Profile
+	err       error
+	remaining atomic.Int32
+}
+
+// RunSweepContext evaluates the full suite on all structures. The
+// profile and trace of each (workload, scale) depend only on the
+// seeded generator, never on the structure, so each workload is
+// profiled exactly once and its trace is materialized exactly once;
+// the (workload, structure) simulations fan out over a bounded worker
+// pool, replaying the shared trace. Results are deterministic
+// regardless of scheduling (every generator is seeded, shared state is
+// read-only, and each run owns its machine). On the first error the
+// context is cancelled, outstanding jobs are abandoned, and the error
+// — wrapped with the failing (workload, structure) pair — is returned.
+func RunSweepContext(ctx context.Context, opts Options) (*Sweep, error) {
 	opts = opts.normalize()
 	suite := workloads.Suite()
 	structures := core.Structures()
 	sw := &Sweep{Options: opts}
 	sw.Workloads = make([]string, len(suite))
 	sw.Outcomes = make([][]Outcome, len(suite))
+	shares := make([]sharedWorkload, len(suite))
 	for i, w := range suite {
 		sw.Workloads[i] = w.Name
 		sw.Outcomes[i] = make([]Outcome, len(structures))
+		shares[i].remaining.Store(int32(len(structures)))
 	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	type job struct{ wi, si int }
 	jobs := make(chan job)
@@ -196,29 +242,70 @@ func RunSweep(opts Options) (*Sweep, error) {
 		errOnce  sync.Once
 		firstErr error
 	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
 	for n := 0; n < workers; n++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				out, err := Evaluate(suite[j.wi], structures[j.si], opts)
+				if ctx.Err() != nil {
+					continue
+				}
+				w := suite[j.wi]
+				sh := &shares[j.wi]
+				sh.once.Do(func() {
+					sh.events = w.TraceEvents(opts.Scale)
+					sh.prof, sh.err = profile.Run(w.Program(), trace.Replay(sh.events))
+					if sh.err != nil {
+						sh.err = fmt.Errorf("experiments: profile %s: %w", w.Name, sh.err)
+					}
+				})
+				if sh.err != nil {
+					fail(sh.err)
+					continue
+				}
+				spec, err := core.NewSpec(structures[j.si])
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
+					fail(fmt.Errorf("experiments: sweep %s/%v: %w", w.Name, structures[j.si], err))
+					continue
+				}
+				out, err := evaluateSpecStream(w, spec, sh.prof, trace.Replay(sh.events), opts)
+				if err != nil {
+					fail(fmt.Errorf("experiments: sweep %s/%v: %w", w.Name, structures[j.si], err))
 					continue
 				}
 				sw.Outcomes[j.wi][j.si] = out
+				if sh.remaining.Add(-1) == 0 {
+					sh.events = nil // last replay done; release the trace
+				}
 			}
 		}()
 	}
-	for wi := range suite {
+	// Structure-major order spreads the once-per-workload profiling over
+	// distinct workers instead of serializing them on one sync.Once.
+	go func() {
+		defer close(jobs)
 		for si := range structures {
-			jobs <- job{wi: wi, si: si}
+			for wi := range suite {
+				select {
+				case jobs <- job{wi: wi, si: si}:
+				case <-ctx.Done():
+					return
+				}
+			}
 		}
-	}
-	close(jobs)
+	}()
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return sw, nil
 }

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ftspm/internal/core"
+	"ftspm/internal/workloads"
+)
+
+var sweepTestOpts = Options{Scale: 0.05}
+
+// outcomesAgree compares the externally meaningful fields of two
+// outcomes: execution accounting, energies, reliability, endurance,
+// and the placement itself.
+func outcomesAgree(t *testing.T, label string, a, b Outcome) {
+	t.Helper()
+	if a.Sim.Cycles != b.Sim.Cycles {
+		t.Fatalf("%s: cycles %d vs %d", label, a.Sim.Cycles, b.Sim.Cycles)
+	}
+	if a.Sim.SPMDynamicEnergy != b.Sim.SPMDynamicEnergy ||
+		a.Sim.SPMStaticEnergy != b.Sim.SPMStaticEnergy {
+		t.Fatalf("%s: energies diverge", label)
+	}
+	if a.AVF.SDCAVF != b.AVF.SDCAVF || a.AVF.DUEAVF != b.AVF.DUEAVF {
+		t.Fatalf("%s: AVF diverges (%v/%v vs %v/%v)", label,
+			a.AVF.SDCAVF, a.AVF.DUEAVF, b.AVF.SDCAVF, b.AVF.DUEAVF)
+	}
+	if a.STTWriteRate != b.STTWriteRate {
+		t.Fatalf("%s: STT write rate %v vs %v", label, a.STTWriteRate, b.STTWriteRate)
+	}
+	if !reflect.DeepEqual(a.Mapping.Placement, b.Mapping.Placement) {
+		t.Fatalf("%s: placements diverge", label)
+	}
+}
+
+// TestSweepSharedProfileMatchesIndependentRuns is the tentpole
+// determinism gate: the sweep — which profiles each workload once and
+// replays one shared trace — must produce outcomes identical to
+// independent Evaluate calls that recompute everything per run.
+func TestSweepSharedProfileMatchesIndependentRuns(t *testing.T) {
+	sw, err := RunSweep(sweepTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := workloads.Suite()
+	structures := core.Structures()
+	for wi, w := range suite {
+		for si, s := range structures {
+			independent, err := Evaluate(w, s, sweepTestOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcomesAgree(t, w.Name+"/"+s.String(), sw.Outcomes[wi][si], independent)
+		}
+	}
+}
+
+// TestConcurrentSweepsDoNotInterfere runs two full sweeps in parallel;
+// sharing a profile inside one sweep must not leak state across
+// sweeps (every generator is seeded, shared slices are read-only).
+func TestConcurrentSweepsDoNotInterfere(t *testing.T) {
+	var wg sync.WaitGroup
+	results := make([]*Sweep, 2)
+	errs := make([]error, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunSweep(sweepTestOpts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+	}
+	a, b := results[0], results[1]
+	for wi := range a.Outcomes {
+		for si := range a.Outcomes[wi] {
+			outcomesAgree(t, a.Workloads[wi]+"/"+a.Outcomes[wi][si].Structure.String(),
+				a.Outcomes[wi][si], b.Outcomes[wi][si])
+		}
+	}
+}
+
+func TestRunSweepContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sw, err := RunSweepContext(ctx, sweepTestOpts)
+	if sw != nil {
+		t.Fatal("cancelled sweep returned results")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCachedTraceMatchesGenerator guards the ablation drivers' shared
+// cache: a replayed cached trace must profile identically to a fresh
+// generator stream.
+func TestCachedTraceMatchesGenerator(t *testing.T) {
+	w := workloads.CaseStudy()
+	a, err := Evaluate(w, core.StructFTSPM, sweepTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.MustSpec(core.StructFTSPM)
+	b, err := evaluateSpecStream(w, spec, a.Profile, cachedTrace(w, sweepTestOpts.Scale), sweepTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomesAgree(t, "cached-vs-stream", a, b)
+}

@@ -1,0 +1,35 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"ftspm/internal/workloads"
+)
+
+// TestProfileStreamMatchesSlice: the profiler must see the identical
+// event sequence whether the trace is streamed from the generator or
+// materialized — every Table I column, the word-write histograms, and
+// the timeline length agree, for every workload.
+func TestProfileStreamMatchesSlice(t *testing.T) {
+	for _, w := range workloads.All() {
+		fromSlice, err := Run(w.Program(), w.Trace(0.05))
+		if err != nil {
+			t.Fatalf("%s: slice profile: %v", w.Name, err)
+		}
+		fromStream, err := Run(w.Program(), w.TraceStream(0.05))
+		if err != nil {
+			t.Fatalf("%s: stream profile: %v", w.Name, err)
+		}
+		if fromSlice.ExecCycles != fromStream.ExecCycles {
+			t.Fatalf("%s: exec cycles %d vs %d", w.Name, fromSlice.ExecCycles, fromStream.ExecCycles)
+		}
+		if fromSlice.TotalDataReads != fromStream.TotalDataReads ||
+			fromSlice.TotalDataWrites != fromStream.TotalDataWrites {
+			t.Fatalf("%s: data access totals diverge", w.Name)
+		}
+		if !reflect.DeepEqual(fromSlice.Blocks, fromStream.Blocks) {
+			t.Fatalf("%s: per-block profiles diverge between slice and stream paths", w.Name)
+		}
+	}
+}

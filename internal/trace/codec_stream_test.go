@@ -1,0 +1,37 @@
+// External test: round-trips the text codec through the streaming
+// generator path (workloads cannot be imported from the in-package
+// tests without a cycle).
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ftspm/internal/trace"
+	"ftspm/internal/workloads"
+)
+
+// TestCodecRoundTripsGeneratorStream records a streamed (never
+// materialized) trace through the text codec and replays it, checking
+// the reader yields the exact generator sequence — the record/replay
+// guarantee of the streaming path.
+func TestCodecRoundTripsGeneratorStream(t *testing.T) {
+	w := workloads.CaseStudy()
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, w.TraceStream(0.02)); err != nil {
+		t.Fatal(err)
+	}
+	r := trace.NewReader(&buf)
+	replayed := trace.Collect(r, 0)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Collect(w.TraceStream(0.02), 0)
+	if len(replayed) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(replayed), len(want))
+	}
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatal("codec round trip diverges from the generator stream")
+	}
+}

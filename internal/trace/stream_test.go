@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReplaySharesBacking: Replay streams read in place and each owns
+// its cursor, so any number of them can interleave over one slice.
+func TestReplaySharesBacking(t *testing.T) {
+	events := sampleEvents()
+	a, b := Replay(events), Replay(events)
+	var gotA, gotB []Event
+	for { // interleave the two cursors
+		ea, okA := a.Next()
+		if okA {
+			gotA = append(gotA, ea)
+		}
+		eb, okB := b.Next()
+		if okB {
+			gotB = append(gotB, eb)
+		}
+		if !okA && !okB {
+			break
+		}
+	}
+	if !reflect.DeepEqual(gotA, events) || !reflect.DeepEqual(gotB, events) {
+		t.Fatal("interleaved replay streams diverged from the source")
+	}
+}
+
+func TestReplayDoesNotCopy(t *testing.T) {
+	events := sampleEvents()
+	s := Replay(events)
+	if s.Len() != len(events) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(events))
+	}
+	// NewSliceStream copies; Replay must not (that is its contract).
+	events[0].StackBytes = 99
+	e, _ := s.Next()
+	if e.StackBytes != 99 {
+		t.Fatal("Replay copied the slice; it must read in place")
+	}
+}
+
+func TestCountingStream(t *testing.T) {
+	events := sampleEvents()
+	c := &CountingStream{S: Replay(events)}
+	got := Collect(c, 0)
+	if c.N != len(events) {
+		t.Fatalf("counted %d events, want %d", c.N, len(events))
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatal("counting wrapper altered the sequence")
+	}
+	if _, ok := c.Next(); ok || c.N != len(events) {
+		t.Fatal("exhausted stream must not keep counting")
+	}
+}

@@ -147,6 +147,16 @@ func NewSliceStream(events []Event) *SliceStream {
 	return &SliceStream{events: cp}
 }
 
+// Replay returns a SliceStream that reads events in place, without
+// copying. The caller promises the slice is never mutated afterwards;
+// under that contract any number of Replay streams (including
+// concurrent ones, each owning its own cursor) can share one backing
+// array — the mechanism behind the shared-trace sweep engine and the
+// workloads.TraceCache.
+func Replay(events []Event) *SliceStream {
+	return &SliceStream{events: events}
+}
+
 // Next implements Stream.
 func (s *SliceStream) Next() (Event, bool) {
 	if s.pos >= len(s.events) {
@@ -162,6 +172,27 @@ func (s *SliceStream) Reset() { s.pos = 0 }
 
 // Len returns the total number of events in the stream.
 func (s *SliceStream) Len() int { return len(s.events) }
+
+// CountingStream wraps a Stream and counts the events it yields —
+// the streaming substitute for SliceStream.Len when the trace is never
+// materialized.
+type CountingStream struct {
+	// S is the wrapped stream.
+	S Stream
+	// N is the number of events yielded so far.
+	N int
+}
+
+var _ Stream = (*CountingStream)(nil)
+
+// Next implements Stream.
+func (c *CountingStream) Next() (Event, bool) {
+	e, ok := c.S.Next()
+	if ok {
+		c.N++
+	}
+	return e, ok
+}
 
 // Collect drains a stream into a slice, up to max events (max <= 0 means
 // unbounded).

@@ -105,25 +105,82 @@ func (s spec) buildProgram() *program.Program {
 }
 
 // generate materializes the spec's trace at the given scale. Scale
-// multiplies the activation count; 1.0 is the reference length.
+// multiplies the activation count; 1.0 is the reference length. The
+// slice is produced by draining the streaming generator, so the two
+// paths emit identical event sequences by construction.
 func (s spec) generate(p *program.Program, scale float64) []trace.Event {
+	st := s.stream(p, scale)
+	var out []trace.Event
+	for {
+		e, ok := st.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// stream returns a pull-based generator over the spec's trace at the
+// given scale. Events are produced one activation at a time into a
+// small reused buffer, so consumers never hold the whole trace; the
+// generator is seeded, so rebuilding the stream replays the identical
+// sequence.
+func (s spec) stream(p *program.Program, scale float64) *genStream {
 	if scale <= 0 {
 		scale = 1.0
 	}
-	rng := rand.New(rand.NewSource(s.seed))
-	g := &generator{prog: p, rng: rng, stack: s.stack}
 	total := int(float64(s.activations) * scale)
 	if total < 1 {
 		total = 1
 	}
-	for _, seg := range s.segments {
+	counts := make([]int, len(s.segments))
+	for i, seg := range s.segments {
 		n := int(float64(total) * seg.share)
 		if n < 1 {
 			n = 1
 		}
-		g.runSegment(seg, n)
+		counts[i] = n
 	}
-	return g.events
+	rng := rand.New(rand.NewSource(s.seed))
+	return &genStream{
+		g:        &generator{prog: p, rng: rng, stack: s.stack},
+		segments: s.segments,
+		counts:   counts,
+	}
+}
+
+// genStream adapts the generator to the trace.Stream pull interface:
+// each refill runs exactly one activation, so the buffer stays a few
+// hundred events regardless of trace length.
+type genStream struct {
+	g        *generator
+	segments []segment
+	counts   []int
+	segIdx   int
+	actIdx   int
+	pos      int
+}
+
+var _ trace.Stream = (*genStream)(nil)
+
+// Next implements trace.Stream.
+func (st *genStream) Next() (trace.Event, bool) {
+	for st.pos >= len(st.g.events) {
+		if st.segIdx >= len(st.segments) {
+			return trace.Event{}, false
+		}
+		st.g.events = st.g.events[:0]
+		st.pos = 0
+		st.g.runActivation(st.segments[st.segIdx], st.actIdx)
+		st.actIdx++
+		if st.actIdx >= st.counts[st.segIdx] {
+			st.segIdx++
+			st.actIdx = 0
+		}
+	}
+	e := st.g.events[st.pos]
+	st.pos++
+	return e, true
 }
 
 // generator emits trace events for a spec.
@@ -142,7 +199,9 @@ type generator struct {
 	stackDepth int
 }
 
-func (g *generator) runSegment(seg segment, activations int) {
+// runActivation emits the events of one activation: the periodic
+// call/return pair, the entry fetch burst, and the data run.
+func (g *generator) runActivation(seg segment, act int) {
 	if g.cursor == nil {
 		g.cursor = make(map[string]int)
 	}
@@ -150,16 +209,14 @@ func (g *generator) runSegment(seg segment, activations int) {
 	for _, pt := range seg.patterns {
 		totalW += pt.weight
 	}
-	for act := 0; act < activations; act++ {
-		if seg.callEvery > 0 && act%seg.callEvery == 0 {
-			g.emitCall(seg)
-		}
-		pt := g.pickPattern(seg.patterns, totalW)
-		g.fetchBurst(seg) // entering the activation executes code
-		runLen := 1 + g.rng.Intn(2*pt.runLen)
-		for i := 0; i < runLen; i++ {
-			g.emitData(pt, seg)
-		}
+	if seg.callEvery > 0 && act%seg.callEvery == 0 {
+		g.emitCall(seg)
+	}
+	pt := g.pickPattern(seg.patterns, totalW)
+	g.fetchBurst(seg) // entering the activation executes code
+	runLen := 1 + g.rng.Intn(2*pt.runLen)
+	for i := 0; i < runLen; i++ {
+		g.emitData(pt, seg)
 	}
 }
 

@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"sync"
+
+	"ftspm/internal/trace"
+)
+
+// traceKey identifies one deterministic trace: the generators are
+// seeded, so (workload, scale) fully determines the event sequence.
+type traceKey struct {
+	name  string
+	scale float64
+}
+
+// TraceCache is a small bounded cache of materialized traces keyed by
+// (workload, scale). Repeated runs — the shape of every ablation and
+// fault-injection campaign — get a no-copy replay stream instead of
+// regenerating the trace; capacity misses evict the least recently
+// used entry. The cached slices are immutable, so hits are
+// deterministic replays of the seeded generator and the cache is safe
+// for concurrent use.
+type TraceCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[traceKey][]trace.Event
+	order    []traceKey // LRU order, oldest first
+	hits     int
+	misses   int
+}
+
+// NewTraceCache returns a cache holding at most capacity traces
+// (capacity < 1 is clamped to 1).
+func NewTraceCache(capacity int) *TraceCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceCache{
+		capacity: capacity,
+		entries:  make(map[traceKey][]trace.Event),
+	}
+}
+
+// Stream returns a replay stream over the cached trace of (w, scale),
+// materializing it on first use. Every returned stream owns its own
+// cursor, so concurrent consumers do not interfere.
+func (c *TraceCache) Stream(w Workload, scale float64) *trace.SliceStream {
+	return trace.Replay(c.Events(w, scale))
+}
+
+// Events returns the cached materialized trace of (w, scale),
+// generating and inserting it on a miss. Callers must treat the slice
+// as read-only.
+func (c *TraceCache) Events(w Workload, scale float64) []trace.Event {
+	key := traceKey{name: w.Name, scale: scale}
+	c.mu.Lock()
+	if ev, ok := c.entries[key]; ok {
+		c.hits++
+		c.touch(key)
+		c.mu.Unlock()
+		return ev
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Generate outside the lock: traces are big and deterministic, so a
+	// duplicate concurrent generation costs time, never correctness.
+	ev := w.spec.generate(w.prog, scale)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cached, ok := c.entries[key]; ok {
+		return cached // another goroutine won the race
+	}
+	for len(c.order) >= c.capacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = ev
+	c.order = append(c.order, key)
+	return ev
+}
+
+// touch moves key to the most-recently-used end. Callers hold c.mu.
+func (c *TraceCache) touch(key traceKey) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// Stats reports the hit and miss counts since construction.
+func (c *TraceCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached traces.
+func (c *TraceCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -31,7 +31,23 @@ func (w Workload) Program() *program.Program { return w.prog }
 // (1.0 = reference length; experiments use smaller scales for quick
 // runs). The trace is deterministic per (workload, scale).
 func (w Workload) Trace(scale float64) *trace.SliceStream {
-	return trace.NewSliceStream(w.spec.generate(w.prog, scale))
+	return trace.Replay(w.spec.generate(w.prog, scale))
+}
+
+// TraceStream returns the workload's trace as a streaming generator:
+// events are produced on demand, one activation at a time, so the
+// consumer never holds the materialized trace. The stream emits the
+// byte-identical event sequence of Trace (the slice path is defined as
+// a drain of this stream); rebuilding the stream replays it.
+func (w Workload) TraceStream(scale float64) trace.Stream {
+	return w.spec.stream(w.prog, scale)
+}
+
+// TraceEvents materializes the trace as a raw event slice. The caller
+// owns the slice; sharing it read-only across trace.Replay streams is
+// how the sweep engine amortizes generation over several consumers.
+func (w Workload) TraceEvents(scale float64) []trace.Event {
+	return w.spec.generate(w.prog, scale)
 }
 
 // ErrUnknownWorkload is returned by ByName for names not in the suite.
