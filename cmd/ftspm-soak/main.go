@@ -1,0 +1,191 @@
+// Command ftspm-soak runs Monte-Carlo soak campaigns of the runtime
+// error-recovery subsystem: many independently-seeded executions of a
+// workload under live particle strikes (and optionally STT-RAM write
+// wear), reporting recovered/DUE/SDC rates and time-to-degraded per
+// structure.
+//
+// Usage:
+//
+//	ftspm-soak [-workload casestudy] [-structures ftspm,sram,stt]
+//	           [-trials 8] [-scale 0.05] [-strike 0.01] [-target data]
+//	           [-scrub 4096] [-policy rollback] [-no-recovery]
+//	           [-wear-fail 0] [-wear-stuck 0] [-seed 1] [-json file]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ftspm/internal/core"
+	"ftspm/internal/experiments"
+	"ftspm/internal/report"
+	"ftspm/internal/sim"
+	"ftspm/internal/spm"
+	"ftspm/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftspm-soak:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStructures(s string) ([]core.Structure, error) {
+	var out []core.Structure
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "ftspm":
+			out = append(out, core.StructFTSPM)
+		case "sram", "pure-sram":
+			out = append(out, core.StructPureSRAM)
+		case "stt", "stt-ram", "pure-stt":
+			out = append(out, core.StructPureSTT)
+		case "dmr", "duplication":
+			out = append(out, core.StructDMR)
+		case "all":
+			out = append(out, core.AllStructures()...)
+		default:
+			return nil, fmt.Errorf("unknown structure %q (ftspm, sram, stt, dmr, all)", name)
+		}
+	}
+	return out, nil
+}
+
+func parseTarget(s string) (sim.InjectionTarget, error) {
+	switch strings.ToLower(s) {
+	case "data", "data-spm":
+		return sim.TargetDataSPM, nil
+	case "inst", "inst-spm", "code":
+		return sim.TargetInstSPM, nil
+	case "both":
+		return sim.TargetBothSPMs, nil
+	default:
+		return 0, fmt.Errorf("unknown injection target %q (data, inst, both)", s)
+	}
+}
+
+func parsePolicy(s string) (spm.DUEPolicy, error) {
+	switch strings.ToLower(s) {
+	case "rollback":
+		return spm.DUERollback, nil
+	case "sdc":
+		return spm.DUEAsSDC, nil
+	default:
+		return 0, fmt.Errorf("unknown DUE policy %q (rollback, sdc)", s)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftspm-soak", flag.ContinueOnError)
+	workload := fs.String("workload", workloads.CaseStudyName, "workload name")
+	structures := fs.String("structures", "ftspm,sram,stt", "comma-separated structures (or 'all')")
+	trials := fs.Int("trials", 8, "independently-seeded runs per structure")
+	scale := fs.Float64("scale", 0.05, "trace length relative to the reference")
+	strike := fs.Float64("strike", 0.01, "per-access particle-strike probability")
+	target := fs.String("target", "data", "struck SPM(s): data, inst, or both")
+	scrub := fs.Uint64("scrub", 4096, "accesses between background scrubs (0 disables)")
+	policy := fs.String("policy", "rollback", "dirty-block DUE policy: rollback or sdc")
+	noRecovery := fs.Bool("no-recovery", false, "run the detection-only baseline (recovery off)")
+	wearFail := fs.Float64("wear-fail", 0, "per-word STT-RAM transient write-failure probability")
+	wearStuck := fs.Float64("wear-stuck", 0, "per-word-write STT-RAM cell wear-out probability")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	jsonPath := fs.String("json", "", "also write the reports as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	structs, err := parseStructures(*structures)
+	if err != nil {
+		return err
+	}
+	tgt, err := parseTarget(*target)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+
+	opts := experiments.SoakOptions{
+		Workload:         *workload,
+		Trials:           *trials,
+		Scale:            *scale,
+		StrikesPerAccess: *strike,
+		Target:           tgt,
+		Seed:             *seed,
+	}
+	if !*noRecovery {
+		rec := spm.DefaultRecovery()
+		rec.ScrubInterval = *scrub
+		rec.DirtyPolicy = pol
+		opts.Recovery = &rec
+	}
+	if *wearFail > 0 || *wearStuck > 0 {
+		opts.Wear = &spm.WearConfig{
+			WriteFailProb:   *wearFail,
+			MaxWriteRetries: 3,
+			StuckAtProb:     *wearStuck,
+		}
+	}
+
+	mode := "recovery on"
+	if *noRecovery {
+		mode = "detection only"
+	}
+	fmt.Fprintf(out, "soak: %s, %d trials/structure, scale %.2f, strike %.4g/access on %v (%s)\n",
+		*workload, *trials, *scale, *strike, tgt, mode)
+
+	var reports []*experiments.SoakReport
+	t := report.New("\nSoak campaign",
+		"Structure", "Strikes", "Recovered/strike", "DUE/strike", "SDC/strike",
+		"Degraded", "Mean TTD")
+	for _, s := range structs {
+		o := opts
+		o.Structure = s
+		rep, err := experiments.RunSoak(o)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		ttd := "-"
+		if rep.DegradedTrials > 0 {
+			ttd = report.Count(int(rep.MeanTimeToDegraded)) + " acc"
+		}
+		t.AddRow(s.String(),
+			report.Count(int(rep.Strikes)),
+			report.Float(rep.RecoveredRate(), 4),
+			report.Float(rep.DUERate(), 4),
+			report.Float(rep.SDCRate(), 4),
+			fmt.Sprintf("%d/%d", rep.DegradedTrials, rep.Trials),
+			ttd)
+	}
+	if err := t.Render(out); err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		rc := rep.Recovery
+		fmt.Fprintf(out, "\n%v recovery activity: %d corrected in-line, %d re-fetched, %d rollbacks, "+
+			"%d scrub runs (%d repairs, %d re-fetches, %d restores), %d write retries, "+
+			"%d stuck-word events, %d remaps, %d demotions, %d retired words\n",
+			rep.Structure, rc.CorrectedOnAccess, rc.RefetchedWords, rc.Rollbacks,
+			rc.ScrubRuns, rc.ScrubRepairs, rc.ScrubRefetches, rc.ScrubRestores,
+			rc.WriteRetries, rc.StuckWordEvents, rc.Remaps, rc.Demotions, rc.RetiredWords)
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftspm/internal/experiments"
+)
+
+func TestRunSoakEndToEnd(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "soak.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-structures", "ftspm",
+		"-trials", "2",
+		"-scale", "0.02",
+		"-strike", "0.01",
+		"-scrub", "512",
+		"-json", jsonPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Soak campaign", "FTSPM", "recovery activity", "DUE/strike"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*experiments.SoakReport
+	if err := json.Unmarshal(blob, &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Trials != 2 || reports[0].Strikes == 0 {
+		t.Errorf("unexpected JSON reports: %+v", reports)
+	}
+}
+
+func TestRunSoakFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-structures", "warp-core"},
+		{"-target", "moon"},
+		{"-policy", "shrug"},
+		{"-workload", "no-such-workload"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -56,6 +56,27 @@ func (b Bits) Xor(o Bits) Bits {
 	return b
 }
 
+// And returns the bitwise AND of b and o.
+func (b Bits) And(o Bits) Bits {
+	b.w[0] &= o.w[0]
+	b.w[1] &= o.w[1]
+	return b
+}
+
+// AndNot returns b with every bit set in o cleared.
+func (b Bits) AndNot(o Bits) Bits {
+	b.w[0] &^= o.w[0]
+	b.w[1] &^= o.w[1]
+	return b
+}
+
+// Or returns the bitwise OR of b and o.
+func (b Bits) Or(o Bits) Bits {
+	b.w[0] |= o.w[0]
+	b.w[1] |= o.w[1]
+	return b
+}
+
 // OnesCount returns the number of set bits.
 func (b Bits) OnesCount() int {
 	return bits.OnesCount64(b.w[0]) + bits.OnesCount64(b.w[1])

@@ -1,0 +1,141 @@
+package ecc
+
+import (
+	"testing"
+)
+
+// fuzzCodecs builds one instance of every codec kind at both supported
+// payload widths. Failures here are fatal: the fuzz target cannot run
+// without its subjects.
+func fuzzCodecs(f *testing.F) []Codec {
+	f.Helper()
+	var out []Codec
+	for _, k := range []int{32, 64} {
+		h, err := NewHamming(k)
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, h)
+	}
+	p, err := NewParity(32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r, err := NewRaw(32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	d, err := NewDMR(32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return append(out, p, r, d)
+}
+
+// flipDistinct flips n distinct bit positions of the codeword, chosen
+// deterministically from seed, and returns the corrupted word plus the
+// positions hit.
+func flipDistinct(code Bits, codeBits, n int, seed uint64) (Bits, []int) {
+	hit := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for len(hit) < n {
+		// Simple SplitMix64 step: good enough to spread positions.
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		pos := int((z ^ (z >> 31)) % uint64(codeBits))
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		hit = append(hit, pos)
+		code = code.Flip(pos)
+	}
+	return code, hit
+}
+
+// FuzzCodecRoundTrip drives every codec with arbitrary payloads and
+// arbitrary distinct-bit corruption, checking the invariants the
+// recovery subsystem is built on: clean round-trips, the per-codec
+// detection/correction guarantees, and panic-free decoding of any
+// corrupt word.
+func FuzzCodecRoundTrip(f *testing.F) {
+	codecs := fuzzCodecs(f)
+	f.Add(uint64(0), uint8(0), uint64(0))
+	f.Add(uint64(0xdeadbeefcafef00d), uint8(1), uint64(1))
+	f.Add(^uint64(0), uint8(2), uint64(42))
+	f.Add(uint64(0x5555aaaa5555aaaa), uint8(7), uint64(7))
+	f.Fuzz(func(t *testing.T, data uint64, nFlips uint8, seed uint64) {
+		for _, c := range codecs {
+			payload := data
+			if c.DataBits() < 64 {
+				payload &= (uint64(1) << uint(c.DataBits())) - 1
+			}
+			enc := c.Encode(BitsFromUint64(payload))
+
+			// Clean round-trip: exact payload, Clean status.
+			dec, status := c.Decode(enc)
+			if status != Clean || dec.Uint64() != payload {
+				t.Fatalf("%T: clean round-trip gave %#x/%v, want %#x/Clean",
+					c, dec.Uint64(), status, payload)
+			}
+
+			n := int(nFlips) % (c.CodeBits() + 1)
+			corrupt, _ := flipDistinct(enc, c.CodeBits(), n, seed)
+			dec, status = c.Decode(corrupt)
+			if status != Clean && status != Corrected && status != Detected {
+				t.Fatalf("%T: invalid status %v", c, status)
+			}
+
+			switch c.(type) {
+			case *ParityCodec:
+				// Parity detects exactly the odd flip counts.
+				if wantDetect := n%2 == 1; (status == Detected) != wantDetect {
+					t.Fatalf("parity: %d flips gave %v", n, status)
+				}
+			case *HammingCodec:
+				switch n {
+				case 1:
+					// SEC: single flips are corrected and the payload
+					// is intact.
+					if status != Corrected || dec.Uint64() != payload {
+						t.Fatalf("hamming(%d): 1 flip gave %#x/%v, want %#x/Corrected",
+							c.DataBits(), dec.Uint64(), status, payload)
+					}
+				case 2:
+					// DED: double flips are always detected, never
+					// miscorrected.
+					if status != Detected {
+						t.Fatalf("hamming(%d): 2 flips gave %v, want Detected",
+							c.DataBits(), status)
+					}
+				}
+			case *RawCodec:
+				// No protection: never signals, payload is whatever the
+				// corrupted cells hold.
+				if status != Clean {
+					t.Fatalf("raw: status %v", status)
+				}
+				if dec.Uint64() != corrupt.Uint64() {
+					t.Fatalf("raw: decode %#x != stored %#x", dec.Uint64(), corrupt.Uint64())
+				}
+			case *DMRCodec:
+				// Duplication compares the copies: any single flip makes
+				// them differ.
+				if n == 1 && status != Detected {
+					t.Fatalf("dmr: 1 flip gave %v, want Detected", status)
+				}
+			}
+
+			// A signalled-Clean or Corrected word must re-encode to the
+			// stored image the decoder believed in — decode must be a
+			// retraction of encode (no made-up payloads).
+			if status == Corrected {
+				if c.Encode(dec) == corrupt {
+					t.Fatalf("%T: Corrected but stored word unchanged", c)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ftspm/internal/core"
+	"ftspm/internal/faults"
+	"ftspm/internal/profile"
+	"ftspm/internal/sim"
+	"ftspm/internal/spm"
+	"ftspm/internal/trace"
+	"ftspm/internal/workloads"
+)
+
+// This file implements the soak campaign: a Monte-Carlo stress run of
+// the runtime error-recovery subsystem (spm.RecoveryConfig). Each trial
+// executes the workload under live particle strikes — and optionally
+// STT-RAM write wear — with a distinct seed, then audits the surviving
+// SPM state. The aggregate answers the questions the single-shot
+// evaluation cannot: how often a detected error is actually repaired,
+// what leaks through as DUE or silent corruption, and how long a
+// structure runs before wear forces it to degrade.
+
+// SoakOptions parameterize a soak campaign. The zero value of every
+// field selects a sensible default (see normalize).
+type SoakOptions struct {
+	// Workload names the executed workload (default: the case study).
+	Workload string
+	// Structure is the evaluated SPM organization (default FTSPM).
+	Structure core.Structure
+	// Trials is the number of independently-seeded runs (default 8).
+	Trials int
+	// Scale is the trace length relative to the reference (default
+	// 0.05: soak wants many short trials, not one long one).
+	Scale float64
+	// StrikesPerAccess is the per-access strike probability.
+	StrikesPerAccess float64
+	// Dist gives strike multiplicities (zero value: faults.Dist40nm).
+	Dist faults.MBUDistribution
+	// Target selects the struck SPM(s).
+	Target sim.InjectionTarget
+	// Seed drives the campaign; trial t derives its streams from it.
+	Seed int64
+	// Recovery, when non-nil, enables the runtime recovery subsystem
+	// with these settings. Nil runs the detection-only baseline.
+	Recovery *spm.RecoveryConfig
+	// Wear, when non-nil, applies STT-RAM write unreliability. Each
+	// trial re-derives its wear seed, so wear-out sites vary per trial.
+	Wear *spm.WearConfig
+	// Thresholds and Priority configure the MDA (defaults as in
+	// DefaultOptions).
+	Thresholds core.Thresholds
+	// Priority selects the MDA optimization target.
+	Priority core.Priority
+}
+
+func (o SoakOptions) normalize() SoakOptions {
+	if o.Workload == "" {
+		o.Workload = workloads.CaseStudyName
+	}
+	if !o.Structure.Valid() {
+		o.Structure = core.StructFTSPM
+	}
+	if o.Trials <= 0 {
+		o.Trials = 8
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.05
+	}
+	if o.Dist == (faults.MBUDistribution{}) {
+		o.Dist = faults.Dist40nm
+	}
+	def := DefaultOptions()
+	if o.Thresholds == (core.Thresholds{}) {
+		o.Thresholds = def.Thresholds
+	}
+	if !o.Priority.Valid() {
+		o.Priority = def.Priority
+	}
+	return o
+}
+
+// SoakReport aggregates a soak campaign.
+type SoakReport struct {
+	// Workload and Structure identify the campaign.
+	Workload  string         `json:"workload"`
+	Structure core.Structure `json:"structure"`
+	// Trials is the number of completed runs.
+	Trials int `json:"trials"`
+	// Accesses and Strikes are summed over all trials.
+	Accesses uint64 `json:"accesses"`
+	Strikes  uint64 `json:"strikes"`
+	// Recovery is the summed recovery activity of both controllers over
+	// all trials (FirstDegradedTick holds the earliest over the
+	// campaign; per-trial means are in MeanTimeToDegraded).
+	Recovery spm.RecoveryStats `json:"recovery"`
+	// EndAudit is the summed end-of-run SPM audit: the error state left
+	// standing after the last access (both SPMs).
+	EndAudit faults.Tally `json:"end_audit"`
+	// DegradedTrials counts trials where at least one block remapped or
+	// demoted; MeanTimeToDegraded is the mean first-degradation tick
+	// (in controller accesses) over those trials.
+	DegradedTrials     int     `json:"degraded_trials"`
+	MeanTimeToDegraded float64 `json:"mean_time_to_degraded"`
+}
+
+// RecoveredRate returns transparently-repaired error events per strike.
+func (r SoakReport) RecoveredRate() float64 { return r.perStrike(float64(r.Recovery.Recovered())) }
+
+// DUERate returns detected-but-unrecovered words per strike: the DUEs
+// recovery gave up on plus the latent ones still standing at the end of
+// the run.
+func (r SoakReport) DUERate() float64 {
+	return r.perStrike(float64(r.Recovery.DUEs()) + float64(r.EndAudit.DUE))
+}
+
+// SDCRate returns silently-corrupt words left at end of run per strike.
+func (r SoakReport) SDCRate() float64 { return r.perStrike(float64(r.EndAudit.SDC)) }
+
+func (r SoakReport) perStrike(n float64) float64 {
+	if r.Strikes == 0 {
+		return 0
+	}
+	return n / float64(r.Strikes)
+}
+
+// soakTrial is one trial's contribution, collected per index so the
+// aggregate is deterministic regardless of worker scheduling.
+type soakTrial struct {
+	accesses uint64
+	strikes  uint64
+	recovery spm.RecoveryStats
+	audit    faults.Tally
+}
+
+// RunSoak executes a soak campaign: Trials seeded runs of the workload
+// on the structure, each under its own strike/wear streams, aggregated
+// into one report. Trials run on a bounded worker pool; the trace is
+// materialized once and replayed read-only by every trial.
+func RunSoak(opts SoakOptions) (*SoakReport, error) {
+	opts = opts.normalize()
+	if err := opts.Dist.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: soak: %w", err)
+	}
+	w, err := workloads.ByName(opts.Workload)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := core.NewSpec(opts.Structure)
+	if err != nil {
+		return nil, err
+	}
+	events := w.TraceEvents(opts.Scale)
+	prof, err := profile.Run(w.Program(), trace.Replay(events))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: soak profile %s: %w", w.Name, err)
+	}
+	mapping, err := core.MapBlocks(prof, spec, opts.Thresholds, opts.Priority)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: soak map %s/%v: %w", w.Name, opts.Structure, err)
+	}
+
+	trials := make([]soakTrial, opts.Trials)
+	errs := make([]error, opts.Trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > opts.Trials {
+		workers = opts.Trials
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				trials[t], errs[t] = runSoakTrial(w, spec, mapping.Placement, events, opts, t)
+			}
+		}()
+	}
+	for t := 0; t < opts.Trials; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	for t, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: soak trial %d: %w", t, err)
+		}
+	}
+
+	rep := &SoakReport{Workload: w.Name, Structure: opts.Structure, Trials: opts.Trials}
+	var degradedSum float64
+	for _, tr := range trials {
+		rep.Accesses += tr.accesses
+		rep.Strikes += tr.strikes
+		rep.Recovery.Add(tr.recovery)
+		rep.EndAudit.Benign += tr.audit.Benign
+		rep.EndAudit.DRE += tr.audit.DRE
+		rep.EndAudit.DUE += tr.audit.DUE
+		rep.EndAudit.SDC += tr.audit.SDC
+		if tr.recovery.FirstDegradedTick > 0 {
+			rep.DegradedTrials++
+			degradedSum += float64(tr.recovery.FirstDegradedTick)
+		}
+	}
+	if rep.DegradedTrials > 0 {
+		rep.MeanTimeToDegraded = degradedSum / float64(rep.DegradedTrials)
+	}
+	return rep, nil
+}
+
+// runSoakTrial executes one seeded trial. Every random stream (strikes,
+// wear) is derived from the campaign seed and the trial index, so the
+// campaign is reproducible and its trials are independent.
+func runSoakTrial(w workloads.Workload, spec core.Spec, place spm.Placement,
+	events []trace.Event, opts SoakOptions, t int) (soakTrial, error) {
+	const trialStride = 1_000_003 // prime: keeps per-trial seeds distinct
+	cfg := spec.SimConfig(place)
+	if opts.StrikesPerAccess > 0 {
+		cfg.Injection = &sim.InjectionConfig{
+			StrikesPerAccess: opts.StrikesPerAccess,
+			Dist:             opts.Dist,
+			Seed:             opts.Seed + int64(t)*trialStride,
+			Target:           opts.Target,
+		}
+	}
+	if opts.Recovery != nil {
+		rc := *opts.Recovery
+		cfg.Recovery = &rc
+	}
+	if opts.Wear != nil {
+		wc := *opts.Wear
+		wc.Seed = opts.Seed + wc.Seed + int64(t)*trialStride + 1
+		cfg.Wear = &wc
+	}
+	m, err := sim.New(w.Program(), cfg)
+	if err != nil {
+		return soakTrial{}, err
+	}
+	res, err := m.Run(trace.Replay(events))
+	if err != nil {
+		return soakTrial{}, err
+	}
+	audit := m.DataSPM().Audit()
+	iAudit := m.InstSPM().Audit()
+	audit.Benign += iAudit.Benign
+	audit.DRE += iAudit.DRE
+	audit.DUE += iAudit.DUE
+	audit.SDC += iAudit.SDC
+	return soakTrial{
+		accesses: res.Accesses,
+		strikes:  res.InjectedStrikes,
+		recovery: res.RecoveryTotals(),
+		audit:    audit,
+	}, nil
+}

@@ -188,6 +188,16 @@ func InjectCluster(rng *rand.Rand, word ecc.Bits, codeBits, multiplicity int) ec
 	return word
 }
 
+// ApplyStuckAt returns the codeword as it is actually stored in a word
+// containing permanently-failed cells: the bits under mask are forced
+// to their frozen values in val regardless of what the write driver
+// attempted. This is the storage semantics of STT-RAM wear-out — a
+// worn magnetic tunnel junction holds its last state forever — and of
+// classic stuck-at manufacturing faults.
+func ApplyStuckAt(word, mask, val ecc.Bits) ecc.Bits {
+	return word.AndNot(mask).Or(val.And(mask))
+}
+
 // InjectScattered flips `multiplicity` distinct uniformly-random bit
 // positions of the codeword — the independent-flip variant used to probe
 // sensitivity to the adjacency assumption.

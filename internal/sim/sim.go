@@ -36,21 +36,80 @@ type Config struct {
 	ICache, DCache cache.Config
 	// DRAM configures the off-chip memory.
 	DRAM dram.Config
-	// Injection, when non-nil, lands particle strikes on the data SPM
-	// during execution (live fault-injection campaigns).
+	// Injection, when non-nil, lands particle strikes on the selected
+	// SPM(s) during execution (live fault-injection campaigns).
 	Injection *InjectionConfig
+	// Recovery, when non-nil, enables the runtime error-recovery engine
+	// on both SPM controllers: DUE re-fetch from DRAM, background
+	// scrubbing, and wear-triggered graceful degradation.
+	Recovery *spm.RecoveryConfig
+	// Wear, when non-nil, attaches the STT-RAM write-unreliability model
+	// to the STT-RAM regions of both SPMs (SRAM regions are unaffected).
+	Wear *spm.WearConfig
+}
+
+// InjectionTarget selects which scratchpad(s) a live fault-injection
+// campaign strikes.
+type InjectionTarget int
+
+// Injection targets. The zero value strikes the data SPM, preserving
+// the behaviour of configs written before instruction-SPM targeting
+// existed.
+const (
+	// TargetDataSPM strikes only the data SPM.
+	TargetDataSPM InjectionTarget = iota
+	// TargetInstSPM strikes only the instruction SPM.
+	TargetInstSPM
+	// TargetBothSPMs strikes both SPMs, choosing per strike in
+	// proportion to each SPM's stored code bits (a larger surface
+	// catches more particles).
+	TargetBothSPMs
+)
+
+// String implements fmt.Stringer.
+func (t InjectionTarget) String() string {
+	switch t {
+	case TargetDataSPM:
+		return "data-SPM"
+	case TargetInstSPM:
+		return "inst-SPM"
+	case TargetBothSPMs:
+		return "both-SPMs"
+	default:
+		return fmt.Sprintf("InjectionTarget(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is a known target.
+func (t InjectionTarget) Valid() bool {
+	switch t {
+	case TargetDataSPM, TargetInstSPM, TargetBothSPMs:
+		return true
+	default:
+		return false
+	}
 }
 
 // InjectionConfig parameterizes live fault injection.
+//
+// Strikes are word-granular at every protection level: the struck word
+// is chosen in proportion to its stored code bits — a parity word holds
+// 33 bits (32 data + 1 check), a SEC-DED word 39 (32 + 7), a DMR word
+// 64 — and the flipped cluster stays confined to that word's codeword.
+// A multi-bit upset therefore never straddles two words, matching the
+// per-word protection-circuit granularity of the paper's Section IV
+// analysis.
 type InjectionConfig struct {
 	// StrikesPerAccess is the probability of one strike landing on the
-	// data SPM before each memory access (compressed time: real flux is
-	// far lower, but vulnerability ratios are rate-invariant).
+	// target surface before each memory access (compressed time: real
+	// flux is far lower, but vulnerability ratios are rate-invariant).
 	StrikesPerAccess float64
 	// Dist gives the strike multiplicities (use faults.Dist40nm).
 	Dist faults.MBUDistribution
 	// Seed makes the campaign reproducible.
 	Seed int64
+	// Target selects the struck SPM(s); the zero value is the data SPM.
+	Target InjectionTarget
 }
 
 // DefaultPlatform fills the non-SPM parts of a Config with the Table IV
@@ -102,6 +161,13 @@ type Result struct {
 // TotalDynamicEnergy sums SPM, cache, and DRAM dynamic energy.
 func (r Result) TotalDynamicEnergy() memtech.Picojoules {
 	return r.SPMDynamicEnergy + r.CacheEnergy + r.DRAMEnergy
+}
+
+// RecoveryTotals merges the recovery tallies of both SPM controllers.
+func (r Result) RecoveryTotals() spm.RecoveryStats {
+	t := r.ICtl.Recovery
+	t.Add(r.DCtl.Recovery)
+	return t
 }
 
 // Machine is an assembled platform ready to execute traces.
@@ -163,6 +229,26 @@ func New(prog *program.Program, cfg Config) (*Machine, error) {
 	if m.dCtl, err = spm.NewController(m.dSPM, prog, dPlace, m.mem); err != nil {
 		return nil, fmt.Errorf("sim: d-controller: %w", err)
 	}
+	if cfg.Wear != nil {
+		// Distinct seed bases keep the two SPMs' wear streams
+		// independent while staying reproducible from one config seed.
+		if err := m.dSPM.EnableWear(*cfg.Wear); err != nil {
+			return nil, fmt.Errorf("sim: d-wear: %w", err)
+		}
+		iWear := *cfg.Wear
+		iWear.Seed ^= 0x5bd1e995
+		if err := m.iSPM.EnableWear(iWear); err != nil {
+			return nil, fmt.Errorf("sim: i-wear: %w", err)
+		}
+	}
+	if cfg.Recovery != nil {
+		if err := m.iCtl.EnableRecovery(*cfg.Recovery); err != nil {
+			return nil, fmt.Errorf("sim: i-recovery: %w", err)
+		}
+		if err := m.dCtl.EnableRecovery(*cfg.Recovery); err != nil {
+			return nil, fmt.Errorf("sim: d-recovery: %w", err)
+		}
+	}
 	return m, nil
 }
 
@@ -198,6 +284,9 @@ func (m *Machine) run(s trace.Stream, plan *schedule.Plan) (Result, error) {
 		if err := m.cfg.Injection.Dist.Validate(); err != nil {
 			return Result{}, fmt.Errorf("sim: injection: %w", err)
 		}
+		if !m.cfg.Injection.Target.Valid() {
+			return Result{}, fmt.Errorf("sim: injection: unknown target %d", int(m.cfg.Injection.Target))
+		}
 		strikeRNG = rand.New(rand.NewSource(m.cfg.Injection.Seed))
 	}
 	for {
@@ -221,7 +310,7 @@ func (m *Machine) run(s trace.Stream, plan *schedule.Plan) (Result, error) {
 			}
 			accessIdx++
 			if strikeRNG != nil && strikeRNG.Float64() < m.cfg.Injection.StrikesPerAccess {
-				if _, err := m.dSPM.InjectStrike(strikeRNG, m.cfg.Injection.Dist); err != nil {
+				if _, err := m.strikeTarget(strikeRNG).InjectStrike(strikeRNG, m.cfg.Injection.Dist); err != nil {
 					return Result{}, fmt.Errorf("sim: injection: %w", err)
 				}
 				res.InjectedStrikes++
@@ -275,6 +364,23 @@ func (m *Machine) run(s trace.Stream, plan *schedule.Plan) (Result, error) {
 	return res, nil
 }
 
+// strikeTarget picks the SPM one particle strike lands on per the
+// injection target, weighting TargetBothSPMs by stored code bits.
+func (m *Machine) strikeTarget(rng *rand.Rand) *spm.SPM {
+	switch m.cfg.Injection.Target {
+	case TargetInstSPM:
+		return m.iSPM
+	case TargetBothSPMs:
+		iBits, dBits := m.iSPM.StoredBits(), m.dSPM.StoredBits()
+		if total := iBits + dBits; total > 0 && rng.Intn(total) < iBits {
+			return m.iSPM
+		}
+		return m.dSPM
+	default:
+		return m.dSPM
+	}
+}
+
 // applyCommand executes one scheduled transfer command on the
 // controller owning the block's address space.
 func (m *Machine) applyCommand(cmd schedule.Command) (memtech.Cycles, error) {
@@ -310,10 +416,15 @@ func (m *Machine) access(a trace.Access) (memtech.Cycles, error) {
 
 	if ctl.IsMapped(id) {
 		cost, err := ctl.Access(id, int(a.Addr-b.Addr), a.Size, a.Op == trace.Write)
-		if err != nil {
+		if err == nil {
+			return cost.Cycles, nil
+		}
+		if !errors.Is(err, spm.ErrNotMapped) {
 			return 0, err
 		}
-		return cost.Cycles, nil
+		// The controller demoted the block mid-run (graceful
+		// degradation found no region with room): fall through to the
+		// cache path, which serves it from here on.
 	}
 
 	// Cache path: array access plus any off-chip fill/write-back.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 
+	"ftspm/internal/dram"
+	"ftspm/internal/faults"
 	"ftspm/internal/memtech"
 	"ftspm/internal/profile"
 	"ftspm/internal/program"
@@ -300,5 +302,201 @@ func TestRunWithPlanBadBlock(t *testing.T) {
 	}
 	if _, err := m.RunWithPlan(trace.NewSliceStream(evs), plan); err == nil {
 		t.Error("plan with phantom block accepted")
+	}
+}
+
+func TestInjectionTargetsInstSPM(t *testing.T) {
+	// Strikes aimed at the instruction SPM must land there and only
+	// there: the data SPM's audit stays clean at any strike rate.
+	p := program.New("itarget")
+	code := p.MustAddBlock("Code", program.CodeBlock, 512)
+	data := p.MustAddBlock("Data", program.DataBlock, 512)
+	cfg := DefaultPlatform()
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionParity, SizeBytes: 1024}}
+	cfg.DSPM = []spm.RegionConfig{{Kind: spm.RegionParity, SizeBytes: 1024}}
+	cfg.Placement = spm.Placement{code: spm.RegionParity, data: spm.RegionParity}
+	cfg.Injection = &InjectionConfig{
+		StrikesPerAccess: 0.5,
+		Dist:             faults.Dist40nm,
+		Seed:             7,
+		Target:           TargetInstSPM,
+	}
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrC, _ := p.AddrOf(code, 0)
+	addrD, _ := p.AddrOf(data, 0)
+	var evs []trace.Event
+	for i := 0; i < 400; i++ {
+		evs = append(evs,
+			trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Code, Addr: addrC + uint32(i*4)%512, Size: 4}),
+			trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addrD + uint32(i*4)%512, Size: 4}),
+		)
+	}
+	res, err := m.Run(trace.NewSliceStream(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InjectedStrikes == 0 {
+		t.Fatal("no strikes landed")
+	}
+	iT := m.InstSPM().Audit()
+	if iT.DRE+iT.DUE+iT.SDC == 0 {
+		t.Error("instruction SPM shows no strike damage")
+	}
+	dT := m.DataSPM().Audit()
+	if dT.DRE+dT.DUE+dT.SDC != 0 {
+		t.Errorf("data SPM damaged by inst-SPM-targeted strikes: %+v", dT)
+	}
+}
+
+func TestInjectionTargetBothSPMsSpreads(t *testing.T) {
+	p := program.New("btarget")
+	code := p.MustAddBlock("Code", program.CodeBlock, 512)
+	cfg := DefaultPlatform()
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionParity, SizeBytes: 1024}}
+	cfg.DSPM = []spm.RegionConfig{{Kind: spm.RegionParity, SizeBytes: 1024}}
+	cfg.Placement = spm.Placement{code: spm.RegionParity}
+	cfg.Injection = &InjectionConfig{
+		StrikesPerAccess: 0.9,
+		Dist:             faults.Dist40nm,
+		Seed:             11,
+		Target:           TargetBothSPMs,
+	}
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrC, _ := p.AddrOf(code, 0)
+	var evs []trace.Event
+	for i := 0; i < 600; i++ {
+		evs = append(evs, trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Code, Addr: addrC, Size: 4}))
+	}
+	if _, err := m.Run(trace.NewSliceStream(evs)); err != nil {
+		t.Fatal(err)
+	}
+	iT, dT := m.InstSPM().Audit(), m.DataSPM().Audit()
+	if iT.DRE+iT.DUE+iT.SDC == 0 || dT.DRE+dT.DUE+dT.SDC == 0 {
+		t.Errorf("strikes did not spread over both SPMs: inst %+v data %+v", iT, dT)
+	}
+}
+
+func TestInjectionRejectsUnknownTarget(t *testing.T) {
+	p := program.New("badtarget")
+	blk := p.MustAddBlock("A", program.DataBlock, 64)
+	cfg := DefaultPlatform()
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 1024}}
+	cfg.DSPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 1024}}
+	cfg.Injection = &InjectionConfig{
+		StrikesPerAccess: 0.5,
+		Dist:             faults.Dist40nm,
+		Target:           InjectionTarget(42),
+	}
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.AddrOf(blk, 0)
+	evs := []trace.Event{trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: a, Size: 4})}
+	if _, err := m.Run(trace.NewSliceStream(evs)); err == nil {
+		t.Error("unknown injection target accepted")
+	}
+}
+
+func TestRecoveryWiredThroughConfig(t *testing.T) {
+	// With Config.Recovery set, strikes on a parity region holding a
+	// clean block are recovered by DRAM re-fetch (on access or by the
+	// scrubber) instead of standing as DUEs.
+	p := program.New("recwire")
+	data := p.MustAddBlock("Data", program.DataBlock, 512)
+	cfg := DefaultPlatform()
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 1024}}
+	cfg.DSPM = []spm.RegionConfig{{Kind: spm.RegionParity, SizeBytes: 1024}}
+	cfg.Placement = spm.Placement{data: spm.RegionParity}
+	cfg.Injection = &InjectionConfig{StrikesPerAccess: 0.2, Dist: faults.Dist40nm, Seed: 3}
+	rec := spm.DefaultRecovery()
+	rec.ScrubInterval = 64
+	cfg.Recovery = &rec
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrD, _ := p.AddrOf(data, 0)
+	var evs []trace.Event
+	for i := 0; i < 1500; i++ {
+		evs = append(evs, trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addrD + uint32(i*4)%512, Size: 4}))
+	}
+	res, err := m.Run(trace.NewSliceStream(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := res.RecoveryTotals()
+	if rt.ScrubRuns == 0 {
+		t.Error("scrubber never ran")
+	}
+	if rt.RefetchedWords+rt.ScrubRefetches+rt.ScrubRestores == 0 {
+		t.Error("no DUE word was recovered")
+	}
+	if rt.RecoveryCycles == 0 {
+		t.Error("recovery charged no cycles")
+	}
+}
+
+func TestWearDemotionFallsBackToCache(t *testing.T) {
+	// A block that cannot stay in a degraded single-region SPM is demoted
+	// mid-run; the simulator must route it (and blocks that no longer
+	// fit) through the cache hierarchy and complete the run.
+	p := program.New("demote")
+	a := p.MustAddBlock("A", program.DataBlock, 64)
+	bb := p.MustAddBlock("B", program.DataBlock, 64)
+	cfg := DefaultPlatform()
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 1024}}
+	cfg.DSPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 64}}
+	cfg.Placement = spm.Placement{a: spm.RegionSTT, bb: spm.RegionSTT}
+	rec := spm.DefaultRecovery()
+	rec.RemapThreshold = 1
+	rec.ScrubInterval = 0
+	cfg.Recovery = &rec
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stick one cell of region word 0 at the inverse of the bit the DMA
+	// of block A will write there, guaranteeing a write-verify failure
+	// on map-in (raw codec: codeword bit i = payload bit i).
+	addrA, _ := p.AddrOf(a, 0)
+	addrB, _ := p.AddrOf(bb, 0)
+	r0, err := m.DataSPM().Region(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dram.Value(addrA / 4)
+	if err := r0.InjectStuckAt(0, 0, want&1 == 0); err != nil {
+		t.Fatal(err)
+	}
+	var evs []trace.Event
+	for i := 0; i < 20; i++ {
+		evs = append(evs,
+			trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addrA, Size: 4}),
+			trace.AccessEvent(trace.Access{Op: trace.Read, Space: trace.Data, Addr: addrB, Size: 4}),
+		)
+	}
+	res, err := m.Run(trace.NewSliceStream(evs))
+	if err != nil {
+		t.Fatalf("run failed after demotion: %v", err)
+	}
+	rt := res.RecoveryTotals()
+	if rt.Demotions != 2 {
+		t.Errorf("Demotions = %d, want 2 (A via remap path, B via allocation failure)", rt.Demotions)
+	}
+	if rt.RetiredWords == 0 {
+		t.Error("stuck word was not retired on the way out")
+	}
+	if rt.FirstDegradedTick == 0 {
+		t.Error("time-to-degraded not recorded")
+	}
+	if res.DCacheStats.Hits+res.DCacheStats.Misses == 0 {
+		t.Error("demoted blocks never reached the cache")
 	}
 }

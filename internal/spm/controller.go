@@ -56,6 +56,10 @@ type ControllerStats struct {
 	TransferCycles memtech.Cycles
 	// PerKind tallies program accesses by serving region kind.
 	PerKind map[RegionKind]*KindCounts
+	// Recovery counts the runtime error-recovery subsystem's activity
+	// (all zero unless EnableRecovery was called, except the write-
+	// verify counters, which a wear model feeds on its own).
+	Recovery RecoveryStats
 }
 
 func (s *ControllerStats) kind(k RegionKind) *KindCounts {
@@ -117,19 +121,28 @@ type Controller struct {
 	kindIdx  map[RegionKind]int
 	tick     uint64
 	stats    ControllerStats
+	// Runtime error recovery (EnableRecovery): detection outcomes on
+	// the access path trigger re-fetch/rollback, a background scrubber
+	// walks the protected regions, and recurring write-verify faults
+	// drive wear-aware graceful degradation.
+	recovery    RecoveryConfig
+	recoveryOn  bool
+	faultCounts map[program.BlockID]int
+	sinceScrub  uint64
 }
 
 // NewController validates the placement against the SPM geometry and
 // returns a controller with an empty SPM.
 func NewController(s *SPM, prog *program.Program, place Placement, mem *dram.Memory) (*Controller, error) {
 	c := &Controller{
-		spm:      s,
-		prog:     prog,
-		place:    place.Clone(),
-		mem:      mem,
-		resident: make(map[program.BlockID]*residency),
-		free:     make([][]interval, s.NumRegions()),
-		kindIdx:  make(map[RegionKind]int),
+		spm:         s,
+		prog:        prog,
+		place:       place.Clone(),
+		mem:         mem,
+		resident:    make(map[program.BlockID]*residency),
+		free:        make([][]interval, s.NumRegions()),
+		kindIdx:     make(map[RegionKind]int),
+		faultCounts: make(map[program.BlockID]int),
 	}
 	for i, r := range s.Regions() {
 		c.free[i] = []interval{{start: 0, n: r.Words()}}
@@ -156,6 +169,22 @@ func NewController(s *SPM, prog *program.Program, place Placement, mem *dram.Mem
 		}
 	}
 	return c, nil
+}
+
+// EnableRecovery switches on the runtime error-recovery subsystem:
+// DUEs detected on the access path are re-fetched from the off-chip
+// copy (clean blocks) or escalated per the dirty policy, a background
+// scrubber walks the protected regions every ScrubInterval accesses,
+// and blocks accumulating RemapThreshold write-verify faults migrate
+// out of their failing region (graceful degradation). Call before the
+// first access.
+func (c *Controller) EnableRecovery(rc RecoveryConfig) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	c.recovery = rc
+	c.recoveryOn = true
+	return nil
 }
 
 // Stats returns a copy of the controller counters (the PerKind map is
@@ -195,8 +224,33 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 		return Cost{}, ErrNotMapped
 	}
 	c.tick++
+	var recCycles memtech.Cycles
+	if c.recoveryOn && c.recovery.ScrubInterval > 0 {
+		c.sinceScrub++
+		if c.sinceScrub >= c.recovery.ScrubInterval {
+			c.sinceScrub = 0
+			cyc, err := c.runScrub()
+			if err != nil {
+				return Cost{}, err
+			}
+			recCycles += cyc
+		}
+	}
 	res, transferCycles, err := c.ensureResident(id)
 	if err != nil {
+		if errors.Is(err, errNoAllocatable) && c.recoveryOn {
+			// The region has degraded (retired words) below the block
+			// size: demote the block to cache service. The caller sees
+			// ErrNotMapped and routes this and all later accesses
+			// through the cache hierarchy.
+			delete(c.place, id)
+			delete(c.faultCounts, id)
+			c.stats.Recovery.Demotions++
+			if c.stats.Recovery.FirstDegradedTick == 0 {
+				c.stats.Recovery.FirstDegradedTick = c.tick
+			}
+			return Cost{}, ErrNotMapped
+		}
 		return Cost{}, err
 	}
 	res.lastUse = c.tick
@@ -234,21 +288,56 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 		for i := range values {
 			values[i] = dram.Value(base/memtech.WordBytes + uint32(i))
 		}
-		accessCycles, err = r.Write(wordIdx, values)
+		var oc WriteOutcome
+		accessCycles, oc, err = r.WriteChecked(wordIdx, values)
 		res.dirty = true
 		c.stats.kind(kind).Writes++
+		if err == nil {
+			c.noteWriteFaults(id, oc)
+		}
 	} else {
-		_, accessCycles, err = r.Read(wordIdx, words)
+		var oc ReadOutcome
+		_, accessCycles, oc, err = r.ReadChecked(wordIdx, words)
 		c.stats.kind(kind).Reads++
+		if err == nil {
+			c.stats.Recovery.CorrectedOnAccess += uint64(oc.Corrected)
+			for _, w := range oc.Detected {
+				cyc, derr := c.recoverDUE(r, res, b.Addr, w)
+				if derr != nil {
+					return Cost{}, derr
+				}
+				recCycles += cyc
+			}
+		}
 	}
 	if err != nil {
 		return Cost{}, err
 	}
+	if c.recoveryOn && c.recovery.RemapThreshold > 0 &&
+		c.faultCounts[id] >= c.recovery.RemapThreshold {
+		cyc, derr := c.degrade(id)
+		if derr != nil {
+			return Cost{}, derr
+		}
+		recCycles += cyc
+	}
+	c.stats.Recovery.RecoveryCycles += recCycles
 	return Cost{
-		Cycles:   transferCycles + accessCycles,
+		Cycles:   transferCycles + accessCycles + recCycles,
 		Kind:     kind,
 		MappedIn: transferCycles > 0,
 	}, nil
+}
+
+// noteWriteFaults folds one write-verify outcome into the recovery
+// accounting: retries are transient (already charged by the region),
+// failed words are permanent-fault evidence against the block.
+func (c *Controller) noteWriteFaults(id program.BlockID, oc WriteOutcome) {
+	c.stats.Recovery.WriteRetries += uint64(oc.Retries)
+	if len(oc.Failed) > 0 {
+		c.stats.Recovery.StuckWordEvents += uint64(len(oc.Failed))
+		c.faultCounts[id] += len(oc.Failed)
+	}
 }
 
 // MapIn executes a scheduled map-in command (the paper's SMI): the
@@ -277,12 +366,12 @@ func (c *Controller) Unmap(id program.BlockID) (memtech.Cycles, error) {
 	if !ok {
 		return 0, nil
 	}
+	r, err := c.spm.Region(res.region)
+	if err != nil {
+		return 0, err
+	}
 	var cycles memtech.Cycles
 	if res.dirty {
-		r, err := c.spm.Region(res.region)
-		if err != nil {
-			return 0, err
-		}
 		_, readCycles, err := r.Read(res.baseWord, res.words)
 		if err != nil {
 			return 0, err
@@ -291,7 +380,7 @@ func (c *Controller) Unmap(id program.BlockID) (memtech.Cycles, error) {
 		cycles = maxCycles(readCycles, dramCycles)
 		c.stats.WritebackWords += uint64(res.words)
 	}
-	c.returnInterval(res.region, interval{start: res.baseWord, n: res.words})
+	c.releaseInterval(res.region, interval{start: res.baseWord, n: res.words}, r)
 	delete(c.resident, id)
 	c.stats.PlannedUnmaps++
 	c.stats.TransferCycles += cycles
@@ -332,7 +421,7 @@ func (c *Controller) ensureResident(id program.BlockID) (*residency, memtech.Cyc
 	for i := range values {
 		values[i] = dram.Value(b.Addr/memtech.WordBytes + uint32(i))
 	}
-	regionCycles, err := r.Write(base, values)
+	regionCycles, oc, err := r.WriteChecked(base, values)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -342,6 +431,10 @@ func (c *Controller) ensureResident(id program.BlockID) (*residency, memtech.Cyc
 	c.resident[id] = res
 	c.stats.MapIns++
 	c.stats.TransferCycles += cycles
+	// Write-verify failures during the DMA-in are fault evidence too:
+	// a block freshly mapped onto worn cells should migrate before its
+	// silent corruption is consumed.
+	c.noteWriteFaults(id, oc)
 	return res, cycles, nil
 }
 
@@ -397,12 +490,12 @@ func (c *Controller) evictLRU(regionIdx int) (bool, memtech.Cycles, error) {
 	if vres == nil {
 		return false, 0, nil
 	}
+	r, err := c.spm.Region(regionIdx)
+	if err != nil {
+		return false, 0, err
+	}
 	var cycles memtech.Cycles
 	if vres.dirty {
-		r, err := c.spm.Region(regionIdx)
-		if err != nil {
-			return false, 0, err
-		}
 		_, readCycles, err := r.Read(vres.baseWord, vres.words)
 		if err != nil {
 			return false, 0, err
@@ -411,11 +504,255 @@ func (c *Controller) evictLRU(regionIdx int) (bool, memtech.Cycles, error) {
 		cycles = maxCycles(readCycles, dramCycles)
 		c.stats.WritebackWords += uint64(vres.words)
 	}
-	c.returnInterval(regionIdx, interval{start: vres.baseWord, n: vres.words})
+	c.releaseInterval(regionIdx, interval{start: vres.baseWord, n: vres.words}, r)
 	delete(c.resident, victim)
 	c.stats.Evictions++
 	c.stats.TransferCycles += cycles
 	return true, cycles, nil
+}
+
+// recoverDUE handles one detected-uncorrectable word found while
+// serving an access. Clean blocks re-fetch the word from the off-chip
+// copy with bounded retry; dirty blocks escalate per the configured
+// policy. All recovery traffic (DRAM bursts, region rewrites, verify
+// reads) is charged to the returned cycles.
+func (c *Controller) recoverDUE(r *Region, res *residency, blockAddr uint32, w int) (memtech.Cycles, error) {
+	if !c.recoveryOn {
+		c.stats.Recovery.UnrecoveredDUEs++
+		return 0, nil
+	}
+	if res.dirty {
+		if c.recovery.DirtyPolicy == DUERollback {
+			cyc, err := r.RestoreWord(w)
+			if err != nil {
+				return 0, err
+			}
+			c.stats.Recovery.Rollbacks++
+			return cyc + c.recovery.RollbackCycles, nil
+		}
+		c.stats.Recovery.SDCEscalations++
+		return 0, nil
+	}
+	cyc, ok, err := c.refetchWord(r, res, blockAddr, w)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		c.stats.Recovery.RefetchedWords++
+	} else {
+		c.stats.Recovery.UnrecoveredDUEs++
+	}
+	return cyc, nil
+}
+
+// refetchWord re-fetches one word of a clean block from the off-chip
+// image, rewrites it, and verifies the rewrite, retrying up to the
+// configured bound. It reports whether the word decodes cleanly
+// afterwards.
+func (c *Controller) refetchWord(r *Region, res *residency, blockAddr uint32, w int) (memtech.Cycles, bool, error) {
+	val := dram.Value(blockAddr/memtech.WordBytes + uint32(w-res.baseWord))
+	var cycles memtech.Cycles
+	for attempt := 0; ; attempt++ {
+		dramCycles, _ := c.mem.Burst(1, false)
+		writeCycles, _, err := r.WriteChecked(w, []uint32{val})
+		if err != nil {
+			return 0, false, err
+		}
+		_, verifyCycles, oc, err := r.ReadChecked(w, 1)
+		if err != nil {
+			return 0, false, err
+		}
+		cycles += dramCycles + writeCycles + verifyCycles
+		if len(oc.Detected) == 0 {
+			return cycles, true, nil
+		}
+		if attempt >= c.recovery.MaxRefetchRetries {
+			return cycles, false, nil
+		}
+		c.stats.Recovery.RefetchRetries++
+	}
+}
+
+// runScrub walks every protected region, repairing correctable latent
+// errors in place and recovering detected-uncorrectable words before a
+// second strike can pair with them: clean resident words re-fetch from
+// DRAM, dirty words follow the DUE policy, and free-space words are
+// rewritten from their last stored payload (their content is dead, but
+// clearing the latent error keeps it from surfacing later).
+func (c *Controller) runScrub() (memtech.Cycles, error) {
+	st := &c.stats.Recovery
+	st.ScrubRuns++
+	var cycles memtech.Cycles
+	for idx := 0; idx < c.spm.NumRegions(); idx++ {
+		r, err := c.spm.Region(idx)
+		if err != nil {
+			return 0, err
+		}
+		if r.Kind().Protection() == memtech.Unprotected {
+			continue // nothing to check: no code to scrub against
+		}
+		repaired, detected, cyc := r.ScrubWords()
+		st.ScrubRepairs += uint64(repaired)
+		cycles += cyc
+		for _, w := range detected {
+			id, res, found := c.residentAt(idx, w)
+			switch {
+			case found && !res.dirty:
+				b, err := c.prog.Block(id)
+				if err != nil {
+					return 0, err
+				}
+				rcyc, ok, err := c.refetchWord(r, res, b.Addr, w)
+				if err != nil {
+					return 0, err
+				}
+				cycles += rcyc
+				if ok {
+					st.ScrubRefetches++
+				} else {
+					st.ScrubDUEs++
+				}
+			case found && c.recovery.DirtyPolicy == DUERollback:
+				rcyc, err := r.RestoreWord(w)
+				if err != nil {
+					return 0, err
+				}
+				cycles += rcyc + c.recovery.RollbackCycles
+				st.ScrubRestores++
+			case found:
+				st.ScrubDUEs++
+			default:
+				// Free-space word: garbage content, live latent error.
+				rcyc, err := r.RestoreWord(w)
+				if err != nil {
+					return 0, err
+				}
+				cycles += rcyc
+				st.ScrubRestores++
+			}
+		}
+	}
+	return cycles, nil
+}
+
+// residentAt returns the block whose residency covers the given word of
+// the region, if any.
+func (c *Controller) residentAt(regionIdx, word int) (program.BlockID, *residency, bool) {
+	for id, res := range c.resident {
+		if res.region == regionIdx && word >= res.baseWord && word < res.baseWord+res.words {
+			return id, res, true
+		}
+	}
+	return 0, nil, false
+}
+
+// degrade migrates a block with recurring permanent faults out of its
+// failing region into the next region in configuration order (regions
+// are configured in falling reliability order, so degradation walks
+// toward cheaper protection). Words holding stuck cells are retired on
+// the way out. When no region can take the block, it is demoted to
+// cache service. Migration reads the intended content (the recovered
+// data, not the corrupt cells) and charges the source read, the
+// destination write, and any eviction the allocation needs.
+func (c *Controller) degrade(id program.BlockID) (memtech.Cycles, error) {
+	res, ok := c.resident[id]
+	if !ok {
+		delete(c.faultCounts, id)
+		return 0, nil
+	}
+	oldIdx := res.region
+	oldR, err := c.spm.Region(oldIdx)
+	if err != nil {
+		return 0, err
+	}
+	values, drainCycles, err := oldR.DrainWords(res.baseWord, res.words)
+	if err != nil {
+		return 0, err
+	}
+
+	defer func() {
+		delete(c.faultCounts, id)
+		if c.stats.Recovery.FirstDegradedTick == 0 {
+			c.stats.Recovery.FirstDegradedTick = c.tick
+		}
+	}()
+
+	for destIdx := oldIdx + 1; destIdx < c.spm.NumRegions(); destIdx++ {
+		destR, err := c.spm.Region(destIdx)
+		if err != nil {
+			return 0, err
+		}
+		if res.words > destR.Words() {
+			continue
+		}
+		base, evictCycles, err := c.allocate(destIdx, res.words)
+		if errors.Is(err, errNoAllocatable) {
+			continue // this region has degraded too far; try the next
+		}
+		if err != nil {
+			return 0, err
+		}
+		writeCycles, oc, err := destR.WriteChecked(base, values)
+		if err != nil {
+			return 0, err
+		}
+		c.releaseInterval(oldIdx, interval{start: res.baseWord, n: res.words}, oldR)
+		res.region = destIdx
+		res.baseWord = base
+		res.lastUse = c.tick
+		c.place[id] = destR.Kind()
+		c.stats.Recovery.Remaps++
+		// The destination may be failing too (wear in an STT fallback):
+		// start its fault account with the migration's own verify
+		// failures.
+		if len(oc.Failed) > 0 {
+			c.stats.Recovery.StuckWordEvents += uint64(len(oc.Failed))
+			c.faultCounts[id] = len(oc.Failed)
+		}
+		return evictCycles + maxCycles(drainCycles, writeCycles), nil
+	}
+
+	// No fallback region fits: demote to cache service, writing dirty
+	// content back off-chip first.
+	var wbCycles memtech.Cycles
+	if res.dirty {
+		dramCycles, _ := c.mem.Burst(res.words, true)
+		wbCycles = maxCycles(drainCycles, dramCycles)
+		c.stats.WritebackWords += uint64(res.words)
+	}
+	c.releaseInterval(oldIdx, interval{start: res.baseWord, n: res.words}, oldR)
+	delete(c.resident, id)
+	delete(c.place, id)
+	c.stats.Recovery.Demotions++
+	return wbCycles, nil
+}
+
+// releaseInterval frees a residency's words. With recovery enabled,
+// words holding stuck cells are retired — withheld from the free list
+// forever — so no future block lands on known-bad cells; the remainder
+// is returned in maximal runs.
+func (c *Controller) releaseInterval(regionIdx int, iv interval, r *Region) {
+	if !c.recoveryOn || r == nil {
+		c.returnInterval(regionIdx, iv)
+		return
+	}
+	run := interval{start: iv.start}
+	for w := iv.start; w < iv.start+iv.n; w++ {
+		if r.WordHasStuck(w) {
+			if run.n > 0 {
+				c.returnInterval(regionIdx, run)
+			}
+			// Errors are impossible here: w is in range by construction.
+			_ = r.RetireWord(w)
+			c.stats.Recovery.RetiredWords++
+			run = interval{start: w + 1}
+		} else {
+			run.n++
+		}
+	}
+	if run.n > 0 {
+		c.returnInterval(regionIdx, run)
+	}
 }
 
 // returnInterval merges a freed run back into the region's free list.

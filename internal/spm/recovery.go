@@ -1,0 +1,246 @@
+package spm
+
+import (
+	"errors"
+	"fmt"
+
+	"ftspm/internal/memtech"
+)
+
+// This file defines the runtime error-recovery subsystem the controller
+// threads through its hot path: detection outcomes surfaced by the
+// regions (parity DUE, SEC-DED double-bit DUE, corrected SBU, write-
+// verify failure) trigger a recovery policy instead of being merely
+// counted. The paper's software-managed SPM makes this possible: clean
+// blocks have golden copies off-chip (the compiler placed them there),
+// so a detected-uncorrectable word in a clean block is recoverable by a
+// DRAM re-fetch, and only dirty-block DUEs must escalate. See DESIGN.md
+// §9 for the full model.
+
+// DUEPolicy selects how the controller handles a detected-uncorrectable
+// error in a *dirty* block — one whose only up-to-date copy is the
+// corrupted SPM content itself.
+type DUEPolicy int
+
+// Dirty-block DUE policies.
+const (
+	// DUEAsSDC consumes the corrupted data and counts the event: the
+	// model of a system without checkpointing, where a dirty-block DUE
+	// is architecturally equivalent to silent corruption (the signal
+	// exists but nothing can act on it).
+	DUEAsSDC DUEPolicy = iota + 1
+	// DUERollback restores the word from the last checkpointed value
+	// and charges RollbackCycles — the STT-RAM checkpointing direction
+	// of Rathi et al. (PAPERS.md). The simulator's golden copy stands
+	// in for the checkpoint image.
+	DUERollback
+)
+
+// String implements fmt.Stringer.
+func (p DUEPolicy) String() string {
+	switch p {
+	case DUEAsSDC:
+		return "sdc"
+	case DUERollback:
+		return "rollback"
+	default:
+		return fmt.Sprintf("DUEPolicy(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is a known policy.
+func (p DUEPolicy) Valid() bool { return p == DUEAsSDC || p == DUERollback }
+
+// RecoveryConfig parameterizes the controller's runtime error-recovery
+// subsystem. The zero value is invalid; start from DefaultRecovery.
+type RecoveryConfig struct {
+	// MaxRefetchRetries bounds the DRAM re-fetch attempts per DUE word
+	// (each attempt is a burst read, a region re-write, and a verify
+	// read, all charged). 0 still allows the initial attempt.
+	MaxRefetchRetries int
+	// DirtyPolicy handles DUEs in dirty blocks, which cannot be
+	// re-fetched.
+	DirtyPolicy DUEPolicy
+	// RollbackCycles is the penalty charged per DUERollback restore
+	// (checkpoint-restore time).
+	RollbackCycles memtech.Cycles
+	// ScrubInterval is the number of controller accesses between
+	// background scrub walks over the protected regions (0 disables
+	// scrubbing).
+	ScrubInterval uint64
+	// RemapThreshold is the number of permanent-fault events observed
+	// on one resident block before the controller migrates it out of
+	// its failing region (0 disables graceful degradation).
+	RemapThreshold int
+}
+
+// DefaultRecovery returns the settings used by the soak campaigns:
+// bounded re-fetch, checkpoint rollback for dirty DUEs, scrubbing every
+// 4096 accesses, and remap after two permanent faults on one block.
+func DefaultRecovery() RecoveryConfig {
+	return RecoveryConfig{
+		MaxRefetchRetries: 2,
+		DirtyPolicy:       DUERollback,
+		RollbackCycles:    5000,
+		ScrubInterval:     4096,
+		RemapThreshold:    2,
+	}
+}
+
+// Errors returned by the recovery subsystem.
+var (
+	ErrBadRecoveryConfig = errors.New("spm: invalid recovery config")
+	ErrBadWearConfig     = errors.New("spm: invalid wear config")
+)
+
+// Validate checks the configuration.
+func (c RecoveryConfig) Validate() error {
+	if c.MaxRefetchRetries < 0 {
+		return fmt.Errorf("%w: MaxRefetchRetries %d", ErrBadRecoveryConfig, c.MaxRefetchRetries)
+	}
+	if !c.DirtyPolicy.Valid() {
+		return fmt.Errorf("%w: DirtyPolicy %d", ErrBadRecoveryConfig, int(c.DirtyPolicy))
+	}
+	if c.RollbackCycles < 0 {
+		return fmt.Errorf("%w: RollbackCycles %d", ErrBadRecoveryConfig, c.RollbackCycles)
+	}
+	if c.RemapThreshold < 0 {
+		return fmt.Errorf("%w: RemapThreshold %d", ErrBadRecoveryConfig, c.RemapThreshold)
+	}
+	return nil
+}
+
+// RecoveryStats counts the recovery subsystem's activity. It is part of
+// ControllerStats, so the sim result carries one per SPM controller.
+type RecoveryStats struct {
+	// CorrectedOnAccess counts single-bit upsets repaired in-line by
+	// ECC during controller accesses (DREs on the hot path).
+	CorrectedOnAccess uint64
+	// RefetchedWords counts clean-block DUE words recovered by a DRAM
+	// re-fetch.
+	RefetchedWords uint64
+	// RefetchRetries counts re-fetch attempts beyond the first.
+	RefetchRetries uint64
+	// Rollbacks counts dirty-block DUE words restored under
+	// DUERollback.
+	Rollbacks uint64
+	// SDCEscalations counts dirty-block DUE words consumed under
+	// DUEAsSDC.
+	SDCEscalations uint64
+	// UnrecoveredDUEs counts DUE words left standing: recovery
+	// disabled, or re-fetch retries exhausted.
+	UnrecoveredDUEs uint64
+	// ScrubRuns counts background scrub walks.
+	ScrubRuns uint64
+	// ScrubRepairs counts ECC-corrected words rewritten in place by the
+	// scrubber.
+	ScrubRepairs uint64
+	// ScrubRefetches counts clean-resident DUE words the scrubber
+	// recovered from DRAM.
+	ScrubRefetches uint64
+	// ScrubRestores counts DUE words the scrubber restored from the
+	// checkpoint/golden copy (free-space words and dirty blocks under
+	// DUERollback).
+	ScrubRestores uint64
+	// ScrubDUEs counts DUE words the scrubber found but could not
+	// repair (dirty blocks under DUEAsSDC).
+	ScrubDUEs uint64
+	// WriteRetries counts write-verify retry attempts (STT-RAM
+	// transient write failures).
+	WriteRetries uint64
+	// StuckWordEvents counts write-verify failures that remained after
+	// retry: words observed holding permanently-stuck cells.
+	StuckWordEvents uint64
+	// Remaps counts blocks migrated out of a failing region into a
+	// fallback region.
+	Remaps uint64
+	// Demotions counts blocks degraded out of the SPM entirely (no
+	// fallback region could hold them; the cache hierarchy serves them
+	// from then on).
+	Demotions uint64
+	// RetiredWords counts words permanently removed from allocation
+	// because they hold stuck cells.
+	RetiredWords uint64
+	// RecoveryCycles is the total stall charged to recovery actions
+	// (re-fetches, rollbacks, scrub walks, migrations).
+	RecoveryCycles memtech.Cycles
+	// FirstDegradedTick is the controller tick of the first remap or
+	// demotion (0 = the structure never degraded). Ticks advance once
+	// per Access/MapIn, so this is the paper-style time-to-degraded in
+	// access counts.
+	FirstDegradedTick uint64
+}
+
+// Recovered returns the total error events the subsystem repaired.
+func (s RecoveryStats) Recovered() uint64 {
+	return s.CorrectedOnAccess + s.RefetchedWords + s.Rollbacks +
+		s.ScrubRepairs + s.ScrubRefetches + s.ScrubRestores
+}
+
+// DUEs returns the total detected-uncorrectable words that recovery
+// could not transparently repair (escalations included).
+func (s RecoveryStats) DUEs() uint64 {
+	return s.UnrecoveredDUEs + s.SDCEscalations + s.ScrubDUEs
+}
+
+// Add accumulates o into s (used to merge the two controllers' stats
+// and to aggregate soak trials).
+func (s *RecoveryStats) Add(o RecoveryStats) {
+	s.CorrectedOnAccess += o.CorrectedOnAccess
+	s.RefetchedWords += o.RefetchedWords
+	s.RefetchRetries += o.RefetchRetries
+	s.Rollbacks += o.Rollbacks
+	s.SDCEscalations += o.SDCEscalations
+	s.UnrecoveredDUEs += o.UnrecoveredDUEs
+	s.ScrubRuns += o.ScrubRuns
+	s.ScrubRepairs += o.ScrubRepairs
+	s.ScrubRefetches += o.ScrubRefetches
+	s.ScrubRestores += o.ScrubRestores
+	s.ScrubDUEs += o.ScrubDUEs
+	s.WriteRetries += o.WriteRetries
+	s.StuckWordEvents += o.StuckWordEvents
+	s.Remaps += o.Remaps
+	s.Demotions += o.Demotions
+	s.RetiredWords += o.RetiredWords
+	s.RecoveryCycles += o.RecoveryCycles
+	if s.FirstDegradedTick == 0 ||
+		(o.FirstDegradedTick != 0 && o.FirstDegradedTick < s.FirstDegradedTick) {
+		s.FirstDegradedTick = o.FirstDegradedTick
+	}
+}
+
+// WearConfig models STT-RAM write unreliability: the stochastic
+// write failures of failure-aware STT-MRAM design (Pajouhi et al.,
+// PAPERS.md) plus permanent wear-out. Every word write can fail
+// transiently (the magnetic tunnel junction does not switch; a
+// write-verify read catches it and the write retries) and can wear a
+// cell out permanently (the cell sticks at its current value). Applied
+// to STT-RAM regions via SPM.EnableWear; SRAM regions never wear.
+type WearConfig struct {
+	// WriteFailProb is the per-word probability that one write attempt
+	// fails to switch and must be retried.
+	WriteFailProb float64
+	// MaxWriteRetries bounds verify-retry attempts per word write;
+	// beyond it the word is left with an unswitched cell.
+	MaxWriteRetries int
+	// StuckAtProb is the per-word-write probability that one cell of
+	// the word wears out and sticks permanently at its current value.
+	StuckAtProb float64
+	// Seed drives the wear process (per-region streams are derived
+	// from it).
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c WearConfig) Validate() error {
+	if c.WriteFailProb < 0 || c.WriteFailProb > 1 {
+		return fmt.Errorf("%w: WriteFailProb %v", ErrBadWearConfig, c.WriteFailProb)
+	}
+	if c.StuckAtProb < 0 || c.StuckAtProb > 1 {
+		return fmt.Errorf("%w: StuckAtProb %v", ErrBadWearConfig, c.StuckAtProb)
+	}
+	if c.MaxWriteRetries < 0 {
+		return fmt.Errorf("%w: MaxWriteRetries %d", ErrBadWearConfig, c.MaxWriteRetries)
+	}
+	return nil
+}

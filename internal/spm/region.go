@@ -160,6 +160,26 @@ type Region struct {
 	golden []uint32   // last written payloads, for audit classification
 	writes []uint64   // per-word write counters (endurance analysis)
 	stats  RegionStats
+	// wear, when non-nil, makes writes stochastically unreliable
+	// (STT-RAM write failures and wear-out; see WearConfig).
+	wear *wearModel
+	// stuckMask/stuckVal track permanently-failed cells per word (nil
+	// until the first cell sticks). Bits under the mask are frozen at
+	// the corresponding val bits on every store.
+	stuckMask []ecc.Bits
+	stuckVal  []ecc.Bits
+	// retired marks words the controller has removed from service
+	// after recurring faults (nil until the first retirement). Retired
+	// words are skipped by scrub and audit: they hold dead cells, not
+	// live data.
+	retired []bool
+}
+
+// wearModel is the per-region instantiation of a WearConfig with its
+// own deterministic random stream.
+type wearModel struct {
+	cfg WearConfig
+	rng *rand.Rand
 }
 
 // NewRegion builds a region of the given kind and byte size.
@@ -230,26 +250,49 @@ func (r *Region) MaxWriteCount() uint64 {
 	return m
 }
 
+// ReadOutcome reports the detection events of one checked read: what
+// the protection circuit signalled to the controller, per word.
+type ReadOutcome struct {
+	// Corrected counts words whose single-bit errors were repaired
+	// in-line (DREs).
+	Corrected int
+	// Detected lists the absolute word indices with uncorrectable
+	// detected errors (DUEs) — the controller's recovery triggers.
+	Detected []int
+}
+
 // Read decodes n words starting at wordIdx, charging latency and energy,
 // and returns the payloads. Observed error events (corrections,
 // detections) are counted in the region stats.
 func (r *Region) Read(wordIdx, n int) ([]uint32, memtech.Cycles, error) {
+	out, cycles, _, err := r.ReadChecked(wordIdx, n)
+	return out, cycles, err
+}
+
+// ReadChecked is Read surfacing the per-word detection outcomes, so the
+// controller can trigger recovery instead of silently carrying on.
+func (r *Region) ReadChecked(wordIdx, n int) ([]uint32, memtech.Cycles, ReadOutcome, error) {
+	var oc ReadOutcome
 	if wordIdx < 0 || n < 0 || wordIdx+n > len(r.words) {
-		return nil, 0, fmt.Errorf("%w: read [%d,+%d) of %d", ErrOutOfRange, wordIdx, n, len(r.words))
+		return nil, 0, oc, fmt.Errorf("%w: read [%d,+%d) of %d", ErrOutOfRange, wordIdx, n, len(r.words))
 	}
 	out := make([]uint32, n)
 	for i := 0; i < n; i++ {
-		data, status := r.codec.Decode(r.words[wordIdx+i])
+		w := wordIdx + i
+		data, status := r.codec.Decode(r.words[w])
 		switch status {
 		case ecc.Corrected:
 			r.stats.CorrectedErrors++
-			// Correction repairs the stored word too (scrub-on-read).
-			r.words[wordIdx+i] = r.codec.Encode(data)
+			oc.Corrected++
+			// Correction repairs the stored word too (scrub-on-read);
+			// stuck cells stay stuck.
+			r.store(w, r.codec.Encode(data))
 		case ecc.Detected:
 			r.stats.DetectedErrors++
+			oc.Detected = append(oc.Detected, w)
 		}
 		out[i] = uint32(data.Uint64())
-		if status != ecc.Detected && out[i] != r.golden[wordIdx+i] {
+		if status != ecc.Detected && out[i] != r.golden[w] {
 			r.stats.SilentReads++
 		}
 	}
@@ -257,26 +300,231 @@ func (r *Region) Read(wordIdx, n int) ([]uint32, memtech.Cycles, error) {
 	r.stats.WordsRead += uint64(n)
 	e := r.bank.AccessEnergy(n*memtech.WordBytes, false)
 	r.stats.Energy += e
-	return out, r.bank.AccessLatency(n*memtech.WordBytes, false), nil
+	return out, r.bank.AccessLatency(n*memtech.WordBytes, false), oc, nil
+}
+
+// WriteOutcome reports the write-verify events of one checked write.
+type WriteOutcome struct {
+	// Retries counts write attempts beyond the first across the
+	// written words (transient STT-RAM switch failures caught by
+	// write-verify; their latency and energy are already charged).
+	Retries int
+	// Failed lists the absolute word indices whose stored codeword
+	// still differs from the intended one after all retries —
+	// permanent stuck cells or an exhausted retry budget. These are
+	// the graceful-degradation triggers.
+	Failed []int
 }
 
 // Write encodes values into consecutive words starting at wordIdx,
 // charging latency and energy and bumping the per-word write counters.
 func (r *Region) Write(wordIdx int, values []uint32) (memtech.Cycles, error) {
+	cycles, _, err := r.WriteChecked(wordIdx, values)
+	return cycles, err
+}
+
+// WriteChecked is Write surfacing write-verify outcomes. Under a wear
+// model (EnableWear) each word write can fail transiently — the verify
+// read catches it and the write retries, charging one extra write per
+// retry — and can permanently stick a cell at its current value.
+func (r *Region) WriteChecked(wordIdx int, values []uint32) (memtech.Cycles, WriteOutcome, error) {
+	var oc WriteOutcome
 	n := len(values)
 	if wordIdx < 0 || wordIdx+n > len(r.words) {
-		return 0, fmt.Errorf("%w: write [%d,+%d) of %d", ErrOutOfRange, wordIdx, n, len(r.words))
+		return 0, oc, fmt.Errorf("%w: write [%d,+%d) of %d", ErrOutOfRange, wordIdx, n, len(r.words))
 	}
 	for i, v := range values {
-		r.words[wordIdx+i] = r.codec.Encode(ecc.BitsFromUint64(uint64(v)))
-		r.golden[wordIdx+i] = v
-		r.writes[wordIdx+i]++
+		w := wordIdx + i
+		enc := r.codec.Encode(ecc.BitsFromUint64(uint64(v)))
+		if r.wear != nil && r.wear.cfg.StuckAtProb > 0 &&
+			r.wear.rng.Float64() < r.wear.cfg.StuckAtProb {
+			// Wear-out: one cell of the word sticks at whatever it
+			// holds right now.
+			bit := r.wear.rng.Intn(r.codec.CodeBits())
+			r.setStuck(w, bit, r.words[w].Get(bit))
+		}
+		stored := enc
+		if r.wear != nil && r.wear.cfg.WriteFailProb > 0 {
+			retries := 0
+			for r.wear.rng.Float64() < r.wear.cfg.WriteFailProb {
+				if retries >= r.wear.cfg.MaxWriteRetries {
+					// Retry budget exhausted: one cell is left
+					// unswitched for this write.
+					stored = stored.Flip(r.wear.rng.Intn(r.codec.CodeBits()))
+					break
+				}
+				retries++
+			}
+			oc.Retries += retries
+		}
+		// Stuck cells override everything the write driver attempted.
+		if r.stuckMask != nil {
+			stored = faults.ApplyStuckAt(stored, r.stuckMask[w], r.stuckVal[w])
+		}
+		r.words[w] = stored
+		r.golden[w] = v
+		r.writes[w]++
+		if stored != enc {
+			oc.Failed = append(oc.Failed, w)
+		}
 	}
 	r.stats.WriteAccesses++
 	r.stats.WordsWritten += uint64(n)
 	e := r.bank.AccessEnergy(n*memtech.WordBytes, true)
+	cycles := r.bank.AccessLatency(n*memtech.WordBytes, true)
+	if oc.Retries > 0 {
+		// Each retry re-drives one word: one extra write latency and
+		// one word's write energy.
+		cycles += r.bank.WriteLatency * memtech.Cycles(oc.Retries)
+		e += r.bank.AccessEnergy(memtech.WordBytes, true) * memtech.Picojoules(oc.Retries)
+	}
 	r.stats.Energy += e
-	return r.bank.AccessLatency(n*memtech.WordBytes, true), nil
+	return cycles, oc, nil
+}
+
+// store writes an encoded codeword into the backing array, honouring
+// any permanently-stuck cells. Every store must go through here once a
+// word may hold stuck cells.
+func (r *Region) store(w int, code ecc.Bits) {
+	if r.stuckMask != nil {
+		code = faults.ApplyStuckAt(code, r.stuckMask[w], r.stuckVal[w])
+	}
+	r.words[w] = code
+}
+
+// setStuck freezes one cell of the word at val, materializing the
+// stuck-cell arrays on first use.
+func (r *Region) setStuck(w, bit int, val bool) {
+	if r.stuckMask == nil {
+		r.stuckMask = make([]ecc.Bits, len(r.words))
+		r.stuckVal = make([]ecc.Bits, len(r.words))
+	}
+	r.stuckMask[w] = r.stuckMask[w].Set(bit, true)
+	r.stuckVal[w] = r.stuckVal[w].Set(bit, val)
+	r.words[w] = faults.ApplyStuckAt(r.words[w], r.stuckMask[w], r.stuckVal[w])
+}
+
+// EnableWear attaches a write-unreliability model to the region with a
+// deterministic random stream derived from seed. Intended for STT-RAM
+// regions (SPM.EnableWear applies it per technology).
+func (r *Region) EnableWear(cfg WearConfig, seed int64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	r.wear = &wearModel{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return nil
+}
+
+// InjectStuckAt permanently sticks one cell of the word at val — the
+// deterministic fault-seeding hook for degradation tests and soak
+// campaigns (the probabilistic path is WearConfig.StuckAtProb).
+func (r *Region) InjectStuckAt(wordIdx, bit int, val bool) error {
+	if wordIdx < 0 || wordIdx >= len(r.words) {
+		return fmt.Errorf("%w: word %d of %d", ErrOutOfRange, wordIdx, len(r.words))
+	}
+	if bit < 0 || bit >= r.codec.CodeBits() {
+		return fmt.Errorf("%w: bit %d of %d", ErrOutOfRange, bit, r.codec.CodeBits())
+	}
+	r.setStuck(wordIdx, bit, val)
+	return nil
+}
+
+// WordHasStuck reports whether the word holds at least one
+// permanently-stuck cell.
+func (r *Region) WordHasStuck(wordIdx int) bool {
+	if r.stuckMask == nil || wordIdx < 0 || wordIdx >= len(r.words) {
+		return false
+	}
+	return !r.stuckMask[wordIdx].IsZero()
+}
+
+// StuckWordCount returns the number of words holding stuck cells.
+func (r *Region) StuckWordCount() int {
+	n := 0
+	for i := range r.stuckMask {
+		if !r.stuckMask[i].IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// RetireWord removes a word from service: scrub and audit skip it from
+// now on. The controller pairs this with withholding the word from its
+// free lists, so nothing is ever placed there again.
+func (r *Region) RetireWord(wordIdx int) error {
+	if wordIdx < 0 || wordIdx >= len(r.words) {
+		return fmt.Errorf("%w: word %d of %d", ErrOutOfRange, wordIdx, len(r.words))
+	}
+	if r.retired == nil {
+		r.retired = make([]bool, len(r.words))
+	}
+	r.retired[wordIdx] = true
+	return nil
+}
+
+// IsRetired reports whether the word has been removed from service.
+func (r *Region) IsRetired(wordIdx int) bool {
+	return r.retired != nil && wordIdx >= 0 && wordIdx < len(r.words) && r.retired[wordIdx]
+}
+
+// RetiredWordCount returns the number of retired words.
+func (r *Region) RetiredWordCount() int {
+	n := 0
+	for _, ret := range r.retired {
+		if ret {
+			n++
+		}
+	}
+	return n
+}
+
+// Golden returns the intended payloads of n words starting at wordIdx:
+// what the word would hold absent faults. A real controller recovers
+// these from its write buffer, the off-chip copy, or the ECC machinery;
+// the simulator's golden array stands in for all three. Used by the
+// graceful-degradation migration path, which must move *correct* data
+// out of a failing region.
+func (r *Region) Golden(wordIdx, n int) ([]uint32, error) {
+	if wordIdx < 0 || n < 0 || wordIdx+n > len(r.words) {
+		return nil, fmt.Errorf("%w: golden [%d,+%d) of %d", ErrOutOfRange, wordIdx, n, len(r.words))
+	}
+	out := make([]uint32, n)
+	copy(out, r.golden[wordIdx:wordIdx+n])
+	return out, nil
+}
+
+// DrainWords reads the intended payloads of n words starting at wordIdx
+// for migration out of the region, charging a full read but bypassing
+// the decoder: the controller already knows the interval is faulty (that
+// is why it is migrating), so re-classifying the same words would
+// double-count error events. Returns the golden payloads and the read
+// latency.
+func (r *Region) DrainWords(wordIdx, n int) ([]uint32, memtech.Cycles, error) {
+	out, err := r.Golden(wordIdx, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.stats.ReadAccesses++
+	r.stats.WordsRead += uint64(n)
+	r.stats.Energy += r.bank.AccessEnergy(n*memtech.WordBytes, false)
+	return out, r.bank.AccessLatency(n*memtech.WordBytes, false), nil
+}
+
+// RestoreWord rewrites one word from its golden copy — the simulator's
+// stand-in for a checkpoint restore — charging one word write. Stuck
+// cells stay stuck, so restoring a word with permanent faults may still
+// leave it corrupt.
+func (r *Region) RestoreWord(wordIdx int) (memtech.Cycles, error) {
+	if wordIdx < 0 || wordIdx >= len(r.words) {
+		return 0, fmt.Errorf("%w: word %d of %d", ErrOutOfRange, wordIdx, len(r.words))
+	}
+	r.store(wordIdx, r.codec.Encode(ecc.BitsFromUint64(uint64(r.golden[wordIdx]))))
+	r.writes[wordIdx]++
+	r.stats.WriteAccesses++
+	r.stats.WordsWritten++
+	r.stats.Energy += r.bank.AccessEnergy(memtech.WordBytes, true)
+	return r.bank.AccessLatency(memtech.WordBytes, true), nil
 }
 
 // InjectStrike flips a cluster of `multiplicity` adjacent bits in the
@@ -302,15 +550,27 @@ func (r *Region) InjectStrike(rng *rand.Rand, wordIdx, multiplicity int) (bool, 
 // future-work direction of strengthening the SRAM regions); see
 // experiments.AblationScrubbing for the quantified effect.
 func (r *Region) Scrub() (repaired, uncorrectable int, cycles memtech.Cycles) {
+	rep, detected, cycles := r.ScrubWords()
+	return rep, len(detected), cycles
+}
+
+// ScrubWords is Scrub surfacing the absolute word indices of the
+// uncorrectable words it found, so the controller can recover them
+// (DRAM re-fetch for clean blocks, checkpoint restore otherwise).
+// Retired words are skipped: their cells are out of service.
+func (r *Region) ScrubWords() (repaired int, detected []int, cycles memtech.Cycles) {
 	cycles = r.bank.AccessLatency(len(r.words)*memtech.WordBytes, false)
 	r.stats.ReadAccesses++
 	r.stats.WordsRead += uint64(len(r.words))
 	r.stats.Energy += r.bank.AccessEnergy(len(r.words)*memtech.WordBytes, false)
 	for i, w := range r.words {
+		if r.IsRetired(i) {
+			continue
+		}
 		data, status := r.codec.Decode(w)
 		switch status {
 		case ecc.Corrected:
-			r.words[i] = r.codec.Encode(data)
+			r.store(i, r.codec.Encode(data))
 			r.writes[i]++
 			repaired++
 			r.stats.CorrectedErrors++
@@ -318,11 +578,11 @@ func (r *Region) Scrub() (repaired, uncorrectable int, cycles memtech.Cycles) {
 			r.stats.Energy += r.bank.AccessEnergy(memtech.WordBytes, true)
 			r.stats.WordsWritten++
 		case ecc.Detected:
-			uncorrectable++
+			detected = append(detected, i)
 			r.stats.DetectedErrors++
 		}
 	}
-	return repaired, uncorrectable, cycles
+	return repaired, detected, cycles
 }
 
 // Audit decodes every word and classifies it against the last written
@@ -331,6 +591,12 @@ func (r *Region) Scrub() (repaired, uncorrectable int, cycles memtech.Cycles) {
 func (r *Region) Audit() faults.Tally {
 	var t faults.Tally
 	for i, w := range r.words {
+		if r.IsRetired(i) {
+			// Retired words hold dead cells, not live data; counting
+			// them would charge degradation twice (it already shows up
+			// as RetiredWords in the recovery stats).
+			continue
+		}
 		data, status := r.codec.Decode(w)
 		intact := uint32(data.Uint64()) == r.golden[i]
 		switch status {

@@ -105,16 +105,45 @@ func (s *SPM) DynamicEnergy() memtech.Picojoules {
 	return total
 }
 
+// EnableWear attaches the STT-RAM write-unreliability model to every
+// STT-RAM region of the SPM (SRAM cells do not wear). Each region gets
+// its own deterministic random stream derived from cfg.Seed and the
+// region index, so multi-region structures stay reproducible.
+func (s *SPM) EnableWear(cfg WearConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	for i, r := range s.regions {
+		if r.Kind().Technology() != memtech.STTRAM {
+			continue
+		}
+		if err := r.EnableWear(cfg, cfg.Seed+int64(i)*0x9e3779b9); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StoredBits returns the total stored code bits over all regions — the
+// particle-catching surface used to weight strike targeting.
+func (s *SPM) StoredBits() int {
+	total := 0
+	for _, r := range s.regions {
+		total += r.Words() * r.codec.CodeBits()
+	}
+	return total
+}
+
 // InjectStrike lands one particle strike on the SPM surface: the struck
 // region is chosen in proportion to its stored code bits (larger banks
-// catch more particles), the word and multiplicity at random. Strikes on
+// catch more particles, and a parity word's 33 stored bits weigh less
+// than a SEC-DED word's 39), then the strike corrupts a cluster of
+// adjacent bits confined to the chosen word's codeword — word
+// granularity is preserved for every protection level. Strikes on
 // immune STT-RAM regions are absorbed. It reports whether any bit
 // flipped.
 func (s *SPM) InjectStrike(rng *rand.Rand, dist faults.MBUDistribution) (bool, error) {
-	totalBits := 0
-	for _, r := range s.regions {
-		totalBits += r.Words() * r.codec.CodeBits()
-	}
+	totalBits := s.StoredBits()
 	if totalBits == 0 {
 		return false, ErrNoRegions
 	}
