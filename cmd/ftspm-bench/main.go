@@ -2,13 +2,27 @@
 // evaluation (the experiment index in DESIGN.md §4), printing the results
 // and optionally writing text + CSV files into a results directory.
 //
+// The full-suite sweep runs as a crash-safe campaign: with -checkpoint
+// every finished (workload, structure) job is journaled, and -resume
+// skips finished jobs so an interrupted run continues where it stopped,
+// producing output byte-identical to an uninterrupted run. SIGINT or
+// SIGTERM drains in-flight jobs, flushes the checkpoint, salvages
+// partial results, and exits with status 3.
+//
 // Usage:
 //
-//	ftspm-bench [-scale 0.25] [-out results]
+//	ftspm-bench [-scale 0.25] [-out results] [-json file]
+//	            [-checkpoint sweep.ckpt] [-resume]
+//	            [-workers N] [-retries N] [-job-timeout d]
+//
+// Exit status: 0 success, 1 error, 2 bad flags, 3 interrupted (partial
+// results salvaged; resumable).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -18,14 +32,18 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"ftspm/internal/campaign"
 	"ftspm/internal/experiments"
 	"ftspm/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := campaign.SignalContext(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftspm-bench:", err)
-		os.Exit(1)
+		os.Exit(campaign.ExitCode(err))
 	}
 }
 
@@ -43,7 +61,9 @@ type sweepMeasurement struct {
 
 // appendSweepMeasurement appends one JSON line describing the sweep
 // that just ran (allocation deltas are process-wide, so run with a
-// quiet process for clean numbers).
+// quiet process for clean numbers). The record is fsynced before close:
+// append-only history cannot be renamed into place atomically, but it
+// must survive a crash right after the run it measures.
 func appendSweepMeasurement(path string, scale float64, wall time.Duration, before runtime.MemStats) error {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
@@ -60,11 +80,16 @@ func appendSweepMeasurement(path string, scale float64, wall time.Duration, befo
 		return err
 	}
 	defer f.Close()
-	enc := json.NewEncoder(f)
-	return enc.Encode(m)
+	if err := json.NewEncoder(f).Encode(m); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftspm-bench", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.25, "trace length relative to the reference")
 	outDir := fs.String("out", "", "directory for .txt/.csv result files (empty: stdout only)")
@@ -73,7 +98,25 @@ func run(args []string, out io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	perfJSON := fs.String("perfjson", "", "append a sweep wall-clock/allocation measurement to this JSON-lines file")
+	checkpoint := fs.String("checkpoint", "", "journal finished sweep jobs to this file (crash-safe campaign)")
+	resume := fs.Bool("resume", false, "skip sweep jobs already journaled in -checkpoint")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
+	retries := fs.Int("retries", 0, "per-job retries before a sweep job is recorded failed")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline for sweep jobs (0: none)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale <= 0 {
+		return campaign.Usagef("-scale must be > 0 (got %g)", *scale)
+	}
+	cc := experiments.CampaignConfig{
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+		Retries:    *retries,
+	}
+	if err := cc.Validate(); err != nil {
 		return err
 	}
 	if *cpuprofile != "" {
@@ -114,20 +157,10 @@ func run(args []string, out io.Writer) error {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
 		}
-		txt, err := os.Create(filepath.Join(*outDir, name+".txt"))
-		if err != nil {
+		if err := campaign.WriteAtomic(filepath.Join(*outDir, name+".txt"), 0o644, t.Render); err != nil {
 			return err
 		}
-		defer txt.Close()
-		if err := t.Render(txt); err != nil {
-			return err
-		}
-		csvf, err := os.Create(filepath.Join(*outDir, name+".csv"))
-		if err != nil {
-			return err
-		}
-		defer csvf.Close()
-		return t.RenderCSV(csvf)
+		return campaign.WriteAtomic(filepath.Join(*outDir, name+".csv"), 0o644, t.RenderCSV)
 	}
 
 	// Configuration and technology tables need no simulation.
@@ -143,6 +176,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if err := emit("fig3_energy_per_access", f3); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 
@@ -184,15 +220,24 @@ func run(args []string, out io.Writer) error {
 	if err := emit("table3_endurance", t3); err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
-	// Full-suite sweep (Section V figures).
+	// Full-suite sweep (Section V figures), as a crash-safe campaign.
 	fmt.Fprintln(out, "running the 12-workload x 3-structure sweep ...")
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	sweepStart := time.Now()
-	sw, err := experiments.RunSweep(opts)
-	if err != nil {
-		return err
+	sw, status, runErr := experiments.RunSweepCampaign(ctx, opts, cc)
+	if sw == nil {
+		return runErr // campaign setup failure (checkpoint, flags)
+	}
+	if status.Resumed > 0 {
+		fmt.Fprintf(out, "resumed %d finished jobs from %s\n", status.Resumed, *checkpoint)
+	}
+	if runErr != nil || status.Failed > 0 {
+		return salvageSweep(out, sw, status, *jsonPath, runErr)
 	}
 	if *perfJSON != "" {
 		if err := appendSweepMeasurement(*perfJSON, *scale, time.Since(sweepStart), before); err != nil {
@@ -248,18 +293,16 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		jf, err := os.Create(*jsonPath)
-		if err != nil {
-			return err
-		}
-		defer jf.Close()
-		if err := summary.WriteJSON(jf); err != nil {
+		if err := campaign.WriteAtomic(*jsonPath, 0o644, summary.WriteJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "wrote JSON summary to %s\n", *jsonPath)
 	}
 
 	if *ablations {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fmt.Fprintln(out, "running ablation studies ...")
 		at, err := experiments.AblationScheduleTable(opts)
 		if err != nil {
@@ -351,4 +394,34 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  endurance improvement: %.0fx geo-mean (paper ~3 orders of magnitude)\n", sum8.GeoMeanRatio)
 	fmt.Fprintf(out, "  performance overhead vs pure SRAM: %.1f%% (paper <1%%)\n", (perfRatio-1)*100)
 	return nil
+}
+
+// salvageSweep reports an interrupted or partially-failed sweep: it
+// writes the partial JSON summary (explicitly marked incomplete) when
+// requested, prints what happened, and returns the campaign error so
+// the process exits non-zero (status 3 when resumable).
+func salvageSweep(out io.Writer, sw *experiments.Sweep, status *experiments.CampaignStatus,
+	jsonPath string, runErr error) error {
+	for _, f := range status.Failures {
+		fmt.Fprintf(out, "sweep job %s failed after %d attempt(s): %s\n", f.ID, f.Attempts, f.Error)
+		if f.Stack != "" {
+			fmt.Fprintf(out, "%s\n", f.Stack)
+		}
+	}
+	fmt.Fprintf(out, "sweep incomplete: %d done, %d failed, %d pending\n",
+		status.Completed, status.Failed, status.Pending)
+	if jsonPath != "" {
+		summary, err := experiments.SummarizePartial(sw, status)
+		if err != nil {
+			return errors.Join(runErr, err)
+		}
+		if err := campaign.WriteAtomic(jsonPath, 0o644, summary.WriteJSON); err != nil {
+			return errors.Join(runErr, err)
+		}
+		fmt.Fprintf(out, "salvaged partial JSON summary to %s\n", jsonPath)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	return status.FirstFailure()
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ftspm/internal/campaign"
 )
 
 func TestRunBenchEndToEnd(t *testing.T) {
@@ -14,7 +17,7 @@ func TestRunBenchEndToEnd(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run([]string{"-scale", "0.05", "-out", dir}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-scale", "0.05", "-out", dir}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -46,7 +49,7 @@ func TestRunBenchEndToEnd(t *testing.T) {
 
 func TestRunBenchBadFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-nope"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &buf); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -58,7 +61,7 @@ func TestRunBenchAblationsAndJSON(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "summary.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-scale", "0.05", "-ablations", "-out", dir, "-json", jsonPath}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-scale", "0.05", "-ablations", "-out", dir, "-json", jsonPath}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
@@ -78,5 +81,24 @@ func TestRunBenchAblationsAndJSON(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "vulnerability_improvement") {
 		t.Error("JSON summary missing headline field")
+	}
+}
+
+func TestRunBenchUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-resume"}, // resume requires -checkpoint
+		{"-scale", "0"},
+		{"-retries", "-2"},
+	}
+	for _, args := range cases {
+		err := run(context.Background(), args, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("args %v accepted", args)
+			continue
+		}
+		if campaign.ExitCode(err) != campaign.ExitUsage {
+			t.Errorf("args %v: exit code %d, want %d (err: %v)",
+				args, campaign.ExitCode(err), campaign.ExitUsage, err)
+		}
 	}
 }

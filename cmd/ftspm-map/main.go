@@ -8,12 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"ftspm/internal/campaign"
 	"ftspm/internal/core"
 	"ftspm/internal/profile"
 	"ftspm/internal/report"
@@ -21,9 +23,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := campaign.SignalContext(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftspm-map:", err)
-		os.Exit(1)
+		os.Exit(campaign.ExitCode(err))
 	}
 }
 
@@ -36,7 +41,7 @@ func parseStructure(s string) (core.Structure, error) {
 	case "stt", "stt-ram", "pure-stt":
 		return core.StructPureSTT, nil
 	default:
-		return 0, fmt.Errorf("unknown structure %q (ftspm, sram, stt)", s)
+		return 0, campaign.Usagef("unknown structure %q (ftspm, sram, stt)", s)
 	}
 }
 
@@ -51,11 +56,11 @@ func parsePriority(s string) (core.Priority, error) {
 	case "endurance":
 		return core.PriorityEndurance, nil
 	default:
-		return 0, fmt.Errorf("unknown priority %q (reliability, performance, power, endurance)", s)
+		return 0, campaign.Usagef("unknown priority %q (reliability, performance, power, endurance)", s)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftspm-map", flag.ContinueOnError)
 	workload := fs.String("workload", workloads.CaseStudyName, "workload name")
 	structure := fs.String("structure", "ftspm", "SPM structure: ftspm, sram, or stt")
@@ -67,6 +72,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *scale <= 0 {
+		return campaign.Usagef("-scale must be > 0 (got %g)", *scale)
+	}
 	s, err := parseStructure(*structure)
 	if err != nil {
 		return err
@@ -77,6 +85,9 @@ func run(args []string, out io.Writer) error {
 	}
 	w, err := workloads.ByName(*workload)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	prof, err := profile.Run(w.Program(), w.TraceStream(*scale))

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestParsePriority(t *testing.T) {
 
 func TestRunMapTableII(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "casestudy", "-scale", "0.1"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "casestudy", "-scale", "0.1"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -58,19 +59,19 @@ func TestRunMapTableII(t *testing.T) {
 
 func TestRunMapCSVAndErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "sha", "-scale", "0.05", "-csv"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "sha", "-scale", "0.05", "-csv"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "Block,") {
 		t.Error("csv header missing")
 	}
-	if err := run([]string{"-structure", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-structure", "bogus"}, &buf); err == nil {
 		t.Error("bad structure accepted")
 	}
-	if err := run([]string{"-priority", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-priority", "bogus"}, &buf); err == nil {
 		t.Error("bad priority accepted")
 	}
-	if err := run([]string{"-workload", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-workload", "bogus"}, &buf); err == nil {
 		t.Error("bad workload accepted")
 	}
 }

@@ -7,24 +7,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"ftspm/internal/campaign"
 	"ftspm/internal/profile"
 	"ftspm/internal/report"
 	"ftspm/internal/workloads"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := campaign.SignalContext(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftspm-profile:", err)
-		os.Exit(1)
+		os.Exit(campaign.ExitCode(err))
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftspm-profile", flag.ContinueOnError)
 	workload := fs.String("workload", workloads.CaseStudyName,
 		"workload name (casestudy or a suite program; see -list)")
@@ -42,8 +47,14 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	if *scale <= 0 {
+		return campaign.Usagef("-scale must be > 0 (got %g)", *scale)
+	}
 	w, err := workloads.ByName(*workload)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	prof, err := profile.Run(w.Program(), w.TraceStream(*scale))

@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunProfileTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "crc32", "-scale", "0.05"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "crc32", "-scale", "0.05"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +22,7 @@ func TestRunProfileTable(t *testing.T) {
 
 func TestRunProfileCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "crc32", "-scale", "0.05", "-csv"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "crc32", "-scale", "0.05", "-csv"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	first := strings.SplitN(buf.String(), "\n", 2)[0]
@@ -32,7 +33,7 @@ func TestRunProfileCSV(t *testing.T) {
 
 func TestRunProfileList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "casestudy") || !strings.Contains(buf.String(), "qsort") {
@@ -42,10 +43,10 @@ func TestRunProfileList(t *testing.T) {
 
 func TestRunProfileErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "nope"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-workload", "nope"}, &buf); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if err := run([]string{"-bogus-flag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-bogus-flag"}, &buf); err == nil {
 		t.Error("bad flag accepted")
 	}
 }

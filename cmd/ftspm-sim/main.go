@@ -8,12 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"ftspm/internal/campaign"
 	"ftspm/internal/core"
 	"ftspm/internal/endurance"
 	"ftspm/internal/experiments"
@@ -25,9 +27,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := campaign.SignalContext(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftspm-sim:", err)
-		os.Exit(1)
+		os.Exit(campaign.ExitCode(err))
 	}
 }
 
@@ -42,7 +47,7 @@ func parseStructure(s string) (core.Structure, error) {
 	case "dmr", "duplication":
 		return core.StructDMR, nil
 	default:
-		return 0, fmt.Errorf("unknown structure %q (ftspm, sram, stt, dmr)", s)
+		return 0, campaign.Usagef("unknown structure %q (ftspm, sram, stt, dmr)", s)
 	}
 }
 
@@ -57,11 +62,11 @@ func parsePriority(s string) (core.Priority, error) {
 	case "endurance":
 		return core.PriorityEndurance, nil
 	default:
-		return 0, fmt.Errorf("unknown priority %q (reliability, performance, power, endurance)", s)
+		return 0, campaign.Usagef("unknown priority %q (reliability, performance, power, endurance)", s)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftspm-sim", flag.ContinueOnError)
 	workload := fs.String("workload", workloads.CaseStudyName, "workload name")
 	structure := fs.String("structure", "ftspm", "SPM structure: ftspm, sram, stt, or dmr")
@@ -73,6 +78,9 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *scale <= 0 {
+		return campaign.Usagef("-scale must be > 0 (got %g)", *scale)
+	}
 	s, err := parseStructure(*structure)
 	if err != nil {
 		return err
@@ -82,12 +90,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	opts := experiments.Options{Scale: *scale, Priority: prio}
 	o, err := experiments.EvaluateByName(*workload, s, opts)
 	if err != nil {
 		return err
 	}
 	if *usePlan {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		w, err := workloads.ByName(*workload)
 		if err != nil {
 			return err

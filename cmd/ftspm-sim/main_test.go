@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunSimFTSPM(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "sha", "-structure", "ftspm", "-scale", "0.05"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "sha", "-structure", "ftspm", "-scale", "0.05"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -25,13 +26,13 @@ func TestRunSimFTSPM(t *testing.T) {
 func TestRunSimBaselines(t *testing.T) {
 	for _, s := range []string{"sram", "stt"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-workload", "crc32", "-structure", s, "-scale", "0.05"}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-workload", "crc32", "-structure", s, "-scale", "0.05"}, &buf); err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
 	}
 	// The pure SRAM baseline has no STT-RAM wear to report.
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "crc32", "-structure", "sram", "-scale", "0.05"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "crc32", "-structure", "sram", "-scale", "0.05"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "no STT-RAM wear") {
@@ -41,20 +42,20 @@ func TestRunSimBaselines(t *testing.T) {
 
 func TestRunSimErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-structure", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-structure", "bogus"}, &buf); err == nil {
 		t.Error("bad structure accepted")
 	}
-	if err := run([]string{"-workload", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-workload", "bogus"}, &buf); err == nil {
 		t.Error("bad workload accepted")
 	}
-	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-not-a-flag"}, &buf); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
 
 func TestRunSimWithPlanAndPriority(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "fft", "-plan", "-scale", "0.05",
+	if err := run(context.Background(), []string{"-workload", "fft", "-plan", "-scale", "0.05",
 		"-priority", "endurance"}, &buf); err != nil {
 		t.Fatal(err)
 	}
@@ -65,12 +66,12 @@ func TestRunSimWithPlanAndPriority(t *testing.T) {
 	if !strings.Contains(out, "Vulnerability by region") {
 		t.Error("per-region AVF breakdown missing")
 	}
-	if err := run([]string{"-priority", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-priority", "bogus"}, &buf); err == nil {
 		t.Error("bad priority accepted")
 	}
 	// DMR structure reachable from the CLI.
 	buf.Reset()
-	if err := run([]string{"-workload", "crc32", "-structure", "dmr", "-scale", "0.05"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "crc32", "-structure", "dmr", "-scale", "0.05"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "DMR") {

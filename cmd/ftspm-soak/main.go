@@ -4,15 +4,29 @@
 // wear), reporting recovered/DUE/SDC rates and time-to-degraded per
 // structure.
 //
+// All (structure, trial) pairs run as one crash-safe campaign: with
+// -checkpoint every finished trial is journaled, and -resume skips
+// finished trials so an interrupted campaign continues where it
+// stopped, producing output byte-identical to an uninterrupted run.
+// SIGINT or SIGTERM drains in-flight trials, flushes the checkpoint,
+// salvages partial reports (marked incomplete), and exits with
+// status 3.
+//
 // Usage:
 //
 //	ftspm-soak [-workload casestudy] [-structures ftspm,sram,stt]
 //	           [-trials 8] [-scale 0.05] [-strike 0.01] [-target data]
 //	           [-scrub 4096] [-policy rollback] [-no-recovery]
 //	           [-wear-fail 0] [-wear-stuck 0] [-seed 1] [-json file]
+//	           [-checkpoint soak.ckpt] [-resume]
+//	           [-workers N] [-retries N] [-job-timeout d]
+//
+// Exit status: 0 success, 1 error, 2 bad flags, 3 interrupted (partial
+// reports salvaged; resumable).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +34,7 @@ import (
 	"os"
 	"strings"
 
+	"ftspm/internal/campaign"
 	"ftspm/internal/core"
 	"ftspm/internal/experiments"
 	"ftspm/internal/report"
@@ -29,9 +44,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := campaign.SignalContext(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftspm-soak:", err)
-		os.Exit(1)
+		os.Exit(campaign.ExitCode(err))
 	}
 }
 
@@ -50,7 +68,7 @@ func parseStructures(s string) ([]core.Structure, error) {
 		case "all":
 			out = append(out, core.AllStructures()...)
 		default:
-			return nil, fmt.Errorf("unknown structure %q (ftspm, sram, stt, dmr, all)", name)
+			return nil, campaign.Usagef("unknown structure %q (ftspm, sram, stt, dmr, all)", name)
 		}
 	}
 	return out, nil
@@ -65,7 +83,7 @@ func parseTarget(s string) (sim.InjectionTarget, error) {
 	case "both":
 		return sim.TargetBothSPMs, nil
 	default:
-		return 0, fmt.Errorf("unknown injection target %q (data, inst, both)", s)
+		return 0, campaign.Usagef("unknown injection target %q (data, inst, both)", s)
 	}
 }
 
@@ -76,11 +94,11 @@ func parsePolicy(s string) (spm.DUEPolicy, error) {
 	case "sdc":
 		return spm.DUEAsSDC, nil
 	default:
-		return 0, fmt.Errorf("unknown DUE policy %q (rollback, sdc)", s)
+		return 0, campaign.Usagef("unknown DUE policy %q (rollback, sdc)", s)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftspm-soak", flag.ContinueOnError)
 	workload := fs.String("workload", workloads.CaseStudyName, "workload name")
 	structures := fs.String("structures", "ftspm,sram,stt", "comma-separated structures (or 'all')")
@@ -95,7 +113,31 @@ func run(args []string, out io.Writer) error {
 	wearStuck := fs.Float64("wear-stuck", 0, "per-word-write STT-RAM cell wear-out probability")
 	seed := fs.Int64("seed", 1, "campaign seed")
 	jsonPath := fs.String("json", "", "also write the reports as JSON to this file")
+	checkpoint := fs.String("checkpoint", "", "journal finished trials to this file (crash-safe campaign)")
+	resume := fs.Bool("resume", false, "skip trials already journaled in -checkpoint")
+	workers := fs.Int("workers", 0, "trial worker pool size (0: GOMAXPROCS)")
+	retries := fs.Int("retries", 0, "per-trial retries before a trial is recorded failed")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-trial deadline (0: none)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trials <= 0 {
+		return campaign.Usagef("-trials must be > 0 (got %d)", *trials)
+	}
+	if *scale <= 0 {
+		return campaign.Usagef("-scale must be > 0 (got %g)", *scale)
+	}
+	if *strike < 0 || *strike > 1 {
+		return campaign.Usagef("-strike must be a probability in [0, 1] (got %g)", *strike)
+	}
+	cc := experiments.CampaignConfig{
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+		Retries:    *retries,
+	}
+	if err := cc.Validate(); err != nil {
 		return err
 	}
 	structs, err := parseStructures(*structures)
@@ -140,23 +182,33 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "soak: %s, %d trials/structure, scale %.2f, strike %.4g/access on %v (%s)\n",
 		*workload, *trials, *scale, *strike, tgt, mode)
 
-	var reports []*experiments.SoakReport
+	reports, status, runErr := experiments.RunSoakCampaign(ctx, opts, structs, cc)
+	if reports == nil {
+		return runErr // campaign setup failure (checkpoint, flags)
+	}
+	if status.Resumed > 0 {
+		fmt.Fprintf(out, "resumed %d finished trials from %s\n", status.Resumed, *checkpoint)
+	}
+	for _, f := range status.Failures {
+		fmt.Fprintf(out, "trial %s failed after %d attempt(s): %s\n", f.ID, f.Attempts, f.Error)
+		if f.Stack != "" {
+			fmt.Fprintf(out, "%s\n", f.Stack)
+		}
+	}
+
 	t := report.New("\nSoak campaign",
 		"Structure", "Strikes", "Recovered/strike", "DUE/strike", "SDC/strike",
 		"Degraded", "Mean TTD")
-	for _, s := range structs {
-		o := opts
-		o.Structure = s
-		rep, err := experiments.RunSoak(o)
-		if err != nil {
-			return err
-		}
-		reports = append(reports, rep)
+	for _, rep := range reports {
 		ttd := "-"
 		if rep.DegradedTrials > 0 {
 			ttd = report.Count(int(rep.MeanTimeToDegraded)) + " acc"
 		}
-		t.AddRow(s.String(),
+		structure := rep.Structure.String()
+		if rep.Incomplete {
+			structure += fmt.Sprintf(" (incomplete: %d/%d trials)", rep.Trials, rep.PlannedTrials)
+		}
+		t.AddRow(structure,
 			report.Count(int(rep.Strikes)),
 			report.Float(rep.RecoveredRate(), 4),
 			report.Float(rep.DUERate(), 4),
@@ -182,10 +234,19 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+		if err := campaign.WriteFileAtomic(*jsonPath, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
+		if status.Incomplete {
+			fmt.Fprintf(out, "\nsalvaged partial reports to %s\n", *jsonPath)
+		} else {
+			fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
+		}
 	}
-	return nil
+	if runErr != nil {
+		fmt.Fprintf(out, "\nsoak incomplete: %d done, %d failed, %d pending\n",
+			status.Completed, status.Failed, status.Pending)
+		return runErr
+	}
+	return status.FirstFailure()
 }

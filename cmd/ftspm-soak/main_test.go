@@ -2,19 +2,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"ftspm/internal/campaign"
 	"ftspm/internal/experiments"
 )
 
 func TestRunSoakEndToEnd(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "soak.json")
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-structures", "ftspm",
 		"-trials", "2",
 		"-scale", "0.02",
@@ -52,8 +54,75 @@ func TestRunSoakFlagValidation(t *testing.T) {
 		{"-workload", "no-such-workload"},
 	}
 	for _, args := range cases {
-		if err := run(args, &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestRunSoakUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-resume"}, // resume requires -checkpoint
+		{"-trials", "0"},
+		{"-scale", "-1"},
+		{"-strike", "1.5"},
+		{"-retries", "-1"},
+	}
+	for _, args := range cases {
+		err := run(context.Background(), args, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("args %v accepted", args)
+			continue
+		}
+		if campaign.ExitCode(err) != campaign.ExitUsage {
+			t.Errorf("args %v: exit code %d, want %d (err: %v)",
+				args, campaign.ExitCode(err), campaign.ExitUsage, err)
+		}
+	}
+}
+
+// TestRunSoakCheckpointResume drives the CLI path end to end: a
+// checkpointed run, then a resume that must skip every trial and emit
+// identical JSON.
+func TestRunSoakCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "soak.ckpt")
+	args := func(jsonPath string, extra ...string) []string {
+		return append([]string{
+			"-structures", "ftspm,sram",
+			"-trials", "2",
+			"-scale", "0.02",
+			"-strike", "0.01",
+			"-checkpoint", ckpt,
+			"-json", jsonPath,
+		}, extra...)
+	}
+	first := filepath.Join(dir, "first.json")
+	if err := run(context.Background(), args(first), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running onto an existing checkpoint without -resume must be
+	// rejected, not silently overwrite the journal.
+	if err := run(context.Background(), args(first), &bytes.Buffer{}); err == nil {
+		t.Fatal("second run without -resume accepted")
+	}
+	second := filepath.Join(dir, "second.json")
+	var buf bytes.Buffer
+	if err := run(context.Background(), args(second, "-resume"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resumed 4 finished trials") {
+		t.Errorf("resume did not skip the journaled trials:\n%s", buf.String())
+	}
+	a, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed JSON differs:\n%s\nvs\n%s", a, b)
 	}
 }

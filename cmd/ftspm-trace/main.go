@@ -7,14 +7,20 @@
 //
 //	ftspm-trace -workload sha -scale 0.1 -o sha.trace     # record
 //	ftspm-trace -workload sha -replay sha.trace           # replay+profile
+//
+// Recordings to a file are written atomically (temp file + fsync +
+// rename), so an interrupted recording never leaves a truncated trace
+// at the target path. Exit status: 0 success, 1 error, 2 bad flags.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"ftspm/internal/campaign"
 	"ftspm/internal/profile"
 	"ftspm/internal/report"
 	"ftspm/internal/trace"
@@ -22,13 +28,35 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := campaign.SignalContext(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftspm-trace:", err)
-		os.Exit(1)
+		os.Exit(campaign.ExitCode(err))
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// cancelStream forwards a trace stream until ctx is cancelled, then
+// reports the context error — the cancellation point of arbitrarily
+// long recordings.
+type cancelStream struct {
+	ctx context.Context
+	s   trace.Stream
+	n   int
+	err error
+}
+
+func (c *cancelStream) Next() (trace.Event, bool) {
+	c.n++
+	if c.n%1024 == 0 && c.ctx.Err() != nil {
+		c.err = c.ctx.Err()
+		return trace.Event{}, false
+	}
+	return c.s.Next()
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ftspm-trace", flag.ContinueOnError)
 	workload := fs.String("workload", workloads.CaseStudyName, "workload name")
 	scale := fs.Float64("scale", 0.1, "trace length relative to the reference (record mode)")
@@ -37,8 +65,17 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *scale <= 0 {
+		return campaign.Usagef("-scale must be > 0 (got %g)", *scale)
+	}
+	if *replay != "" && *outPath != "" {
+		return campaign.Usagef("-o and -replay are mutually exclusive (replay profiles, it does not re-record)")
+	}
 	w, err := workloads.ByName(*workload)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 
@@ -66,25 +103,30 @@ func run(args []string, out io.Writer) error {
 		return t.Render(out)
 	}
 
-	var sink io.Writer = out
-	if *outPath != "" && *outPath != "-" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		sink = f
-	}
 	// Record straight from the streaming generator: the trace is never
 	// materialized, so arbitrarily long recordings run in constant
 	// memory.
-	stream := &trace.CountingStream{S: w.TraceStream(*scale)}
-	if err := trace.WriteAll(sink, stream); err != nil {
+	record := func(sink io.Writer) (int, error) {
+		cs := &cancelStream{ctx: ctx, s: w.TraceStream(*scale)}
+		stream := &trace.CountingStream{S: cs}
+		if err := trace.WriteAll(sink, stream); err != nil {
+			return stream.N, err
+		}
+		return stream.N, cs.err
+	}
+	if *outPath == "" || *outPath == "-" {
+		_, err := record(out)
 		return err
 	}
-	if *outPath != "" && *outPath != "-" {
-		fmt.Fprintf(out, "recorded %d events of %s (scale %.2f) to %s\n",
-			stream.N, w.Name, *scale, *outPath)
+	var n int
+	if err := campaign.WriteAtomic(*outPath, 0o644, func(sink io.Writer) error {
+		var err error
+		n, err = record(sink)
+		return err
+	}); err != nil {
+		return err
 	}
+	fmt.Fprintf(out, "recorded %d events of %s (scale %.2f) to %s\n",
+		n, w.Name, *scale, *outPath)
 	return nil
 }

@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"ftspm/internal/campaign"
 	"ftspm/internal/profile"
 	"ftspm/internal/workloads"
 )
@@ -15,7 +17,7 @@ func TestRecordAndReplayRoundTrip(t *testing.T) {
 	path := filepath.Join(dir, "sha.trace")
 
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "sha", "-scale", "0.05", "-o", path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "sha", "-scale", "0.05", "-o", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "recorded") {
@@ -24,7 +26,7 @@ func TestRecordAndReplayRoundTrip(t *testing.T) {
 
 	// Replaying must reproduce the generated profile exactly.
 	buf.Reset()
-	if err := run([]string{"-workload", "sha", "-replay", path}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "sha", "-replay", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	w, err := workloads.ByName("sha")
@@ -82,7 +84,7 @@ func itoa(n int) string {
 
 func TestRecordToStdout(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "crc32", "-scale", "0.02"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-workload", "crc32", "-scale", "0.02"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "A ") && !strings.HasPrefix(buf.String(), "C ") {
@@ -92,13 +94,31 @@ func TestRecordToStdout(t *testing.T) {
 
 func TestTraceErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-workload", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-workload", "bogus"}, &buf); err == nil {
 		t.Error("bad workload accepted")
 	}
-	if err := run([]string{"-replay", "/does/not/exist"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-replay", "/does/not/exist"}, &buf); err == nil {
 		t.Error("missing replay file accepted")
 	}
-	if err := run([]string{"-zzz"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-zzz"}, &buf); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunTraceUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "0"},
+		{"-o", "x.trace", "-replay", "y.trace"},
+	}
+	for _, args := range cases {
+		err := run(context.Background(), args, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("args %v accepted", args)
+			continue
+		}
+		if campaign.ExitCode(err) != campaign.ExitUsage {
+			t.Errorf("args %v: exit code %d, want %d (err: %v)",
+				args, campaign.ExitCode(err), campaign.ExitUsage, err)
+		}
 	}
 }

@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Atomic artifact persistence: every CLI-visible report file (JSON
+// summaries, rendered tables, recorded traces) goes through
+// write-to-temp + fsync + rename, so an interrupt or crash can never
+// leave a truncated artifact under the final name — readers see either
+// the old complete file or the new complete file.
+
+// WriteAtomic streams write's output into a temp file in path's
+// directory, fsyncs it, and renames it over path. On any error the
+// temp file is removed and path is left untouched.
+func WriteAtomic(path string, perm os.FileMode, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(path)
+	return nil
+}
+
+// WriteFileAtomic is os.WriteFile with atomic write-fsync-rename
+// persistence.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteAtomic(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -1,0 +1,367 @@
+// Package campaign is a crash-safe runner for long experiment
+// campaigns: a bounded worker pool that executes independent jobs with
+// panic isolation, per-job deadlines, a bounded retry-with-backoff
+// budget, an append-only JSONL checkpoint for resumable runs, and
+// graceful drain on cancellation.
+//
+// The sweep (experiments.RunSweep) and soak (experiments.RunSoak)
+// engines are both built on it. The contract that makes interrupted
+// campaigns cheap instead of fatal:
+//
+//   - Every job has a deterministic ID. A finished job — completed or
+//     failed-permanent — is journaled to the checkpoint with its
+//     JSON-encoded result, and a resumed run skips it, so the final
+//     report of an interrupted-then-resumed campaign is byte-identical
+//     to an uninterrupted one (results round-trip exactly through
+//     encoding/json).
+//   - A worker panic is recovered into a per-job error carrying the
+//     stack; the poisoned job fails alone while the campaign completes.
+//   - Cancelling the context (e.g. SIGINT/SIGTERM via SignalContext)
+//     stops dispatching new jobs but lets in-flight jobs finish and be
+//     journaled; Run then reports the remaining jobs as pending and
+//     returns an error wrapping ErrIncomplete.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Status classifies a finished job in the report and the checkpoint.
+type Status string
+
+const (
+	// StatusDone marks a job that produced a result.
+	StatusDone Status = "done"
+	// StatusFailed marks a job that exhausted its retry budget
+	// (failed-permanent); it is journaled and never retried on resume.
+	StatusFailed Status = "failed"
+)
+
+// Job is one unit of work. Run receives a context carrying only the
+// per-job deadline (never the campaign's cancellation: graceful drain
+// lets in-flight jobs finish), and should return a JSON-serializable
+// result when the campaign is checkpointed.
+type Job[R any] struct {
+	// ID is the job's deterministic identity; it keys the checkpoint,
+	// so it must be stable across runs and unique within the campaign.
+	ID string
+	// Run executes the job.
+	Run func(ctx context.Context) (R, error)
+}
+
+// Result is one finished job: the journal record and the report entry.
+type Result[R any] struct {
+	ID       string `json:"id"`
+	Status   Status `json:"status"`
+	Attempts int    `json:"attempts"`
+	// Value is the job's result (StatusDone only).
+	Value R `json:"value"`
+	// Err is the final attempt's error text (StatusFailed only).
+	Err string `json:"error,omitempty"`
+	// Stack is the recovered goroutine stack when the final attempt
+	// panicked.
+	Stack string `json:"stack,omitempty"`
+	// Resumed marks results loaded from the checkpoint rather than
+	// executed in this run.
+	Resumed bool `json:"-"`
+	// Cause is the final attempt's error value for live (non-resumed)
+	// failures; resumed failures only retain the Err text.
+	Cause error `json:"-"`
+}
+
+// Config parameterizes Run. The zero value runs with GOMAXPROCS
+// workers, one attempt per job, no deadline, and no checkpoint.
+type Config struct {
+	// Workers bounds the worker pool (default GOMAXPROCS, capped at
+	// the job count).
+	Workers int
+	// JobTimeout is the per-attempt context deadline (0 = none). Jobs
+	// must observe their context for the deadline to take effect.
+	JobTimeout time.Duration
+	// Attempts is the per-job attempt budget before the job is
+	// recorded as failed-permanent (default 1, i.e. no retries).
+	Attempts int
+	// Backoff is the sleep before the first retry, doubling per
+	// subsequent retry (default 100ms).
+	Backoff time.Duration
+	// CheckpointPath, when non-empty, journals every finished job to
+	// this append-only JSONL file (each record is written and fsynced
+	// before the job counts as finished).
+	CheckpointPath string
+	// Resume loads CheckpointPath and skips journaled jobs. The
+	// journal's config hash must match ConfigHash — a mismatch is a
+	// hard error, never silent reuse.
+	Resume bool
+	// ConfigHash fingerprints the campaign configuration (see
+	// HashJSON); required when CheckpointPath is set.
+	ConfigHash string
+	// OnJobDone, when non-nil, observes every finished job after it is
+	// journaled (called from the collector, never concurrently).
+	OnJobDone func(id string, status Status)
+}
+
+func (c Config) normalize(jobs int) Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > jobs {
+		c.Workers = jobs
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 1
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Report aggregates a campaign run.
+type Report[R any] struct {
+	// Results holds every finished job by ID — executed this run or
+	// loaded from the checkpoint.
+	Results map[string]Result[R]
+	// Completed and Failed count finished jobs by status (resumed ones
+	// included); Resumed counts the subset loaded from the checkpoint.
+	Completed, Failed, Resumed int
+	// PendingIDs lists jobs never finished because the campaign was
+	// cancelled mid-flight, in dispatch order. Pending jobs are not
+	// journaled, so a resumed run retries them.
+	PendingIDs []string
+}
+
+// Incomplete reports whether the campaign was drained before every job
+// finished.
+func (r *Report[R]) Incomplete() bool { return len(r.PendingIDs) > 0 }
+
+// Errors returned by Run.
+var (
+	// ErrIncomplete wraps the error returned when the campaign is
+	// cancelled before all jobs ran (the report still carries every
+	// salvaged result).
+	ErrIncomplete = errors.New("campaign incomplete")
+	// ErrDuplicateJob rejects job sets with colliding IDs.
+	ErrDuplicateJob = errors.New("campaign: duplicate job ID")
+)
+
+// panicError converts a recovered worker panic into a per-job error
+// carrying the goroutine stack.
+type panicError struct {
+	value string
+	stack string
+}
+
+func (e *panicError) Error() string { return "panic: " + e.value }
+
+// Run executes the campaign: resumable, panic-isolated, deadline- and
+// retry-bounded, gracefully drained on ctx cancellation. Job failures
+// are reported per-job in the Report, never as a Run error; Run's error
+// reports setup problems (checkpoint, duplicate IDs) or — wrapping
+// ErrIncomplete and the context error — an early drain. The Report is
+// non-nil whenever jobs started, so callers can salvage partial
+// results alongside a non-nil error.
+func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) (*Report[R], error) {
+	cfg = cfg.normalize(len(jobs))
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if seen[j.ID] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateJob, j.ID)
+		}
+		seen[j.ID] = true
+	}
+
+	rep := &Report[R]{Results: make(map[string]Result[R], len(jobs))}
+	var jl *journal
+	if cfg.CheckpointPath != "" {
+		var err error
+		var done map[string]Result[R]
+		jl, done, err = openCheckpoint[R](cfg.CheckpointPath, cfg.ConfigHash, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer jl.Close()
+		for id, r := range done {
+			if !seen[id] {
+				continue // journal entries for jobs not in this campaign
+			}
+			r.Resumed = true
+			rep.Results[id] = r
+			rep.Resumed++
+			switch r.Status {
+			case StatusFailed:
+				rep.Failed++
+			default:
+				rep.Completed++
+			}
+		}
+	}
+
+	pending := make([]Job[R], 0, len(jobs))
+	for _, j := range jobs {
+		if _, ok := rep.Results[j.ID]; !ok {
+			pending = append(pending, j)
+		}
+	}
+
+	// finished carries one entry per dispatched job: its result, or
+	// abandoned=true when the drain interrupted it between retry
+	// attempts (such jobs stay pending and are not journaled).
+	type outcome struct {
+		res       Result[R]
+		abandoned bool
+	}
+	jobCh := make(chan Job[R])
+	outCh := make(chan outcome)
+	var wg sync.WaitGroup
+	for n := 0; n < cfg.Workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				res, abandoned := runJob(ctx, cfg, j)
+				outCh <- outcome{res: res, abandoned: abandoned}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outCh)
+	}()
+
+	// The dispatcher stops at ctx cancellation; undispatched job IDs
+	// are reported as pending.
+	undispatched := make(chan []string, 1)
+	go func() {
+		defer close(jobCh)
+		abort := func(i int) {
+			ids := make([]string, 0, len(pending)-i)
+			for _, p := range pending[i:] {
+				ids = append(ids, p.ID)
+			}
+			undispatched <- ids
+		}
+		for i, j := range pending {
+			if ctx.Err() != nil {
+				abort(i)
+				return
+			}
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				abort(i)
+				return
+			}
+		}
+		undispatched <- nil
+	}()
+
+	// Collector: journal each finished job (write-fsync before it
+	// counts), then account for it.
+	var journalErr error
+	for out := range outCh {
+		if out.abandoned {
+			rep.PendingIDs = append(rep.PendingIDs, out.res.ID)
+			continue
+		}
+		if jl != nil && journalErr == nil {
+			journalErr = jl.Append(out.res)
+		}
+		rep.Results[out.res.ID] = out.res
+		if out.res.Status == StatusFailed {
+			rep.Failed++
+		} else {
+			rep.Completed++
+		}
+		if cfg.OnJobDone != nil {
+			cfg.OnJobDone(out.res.ID, out.res.Status)
+		}
+	}
+	rep.PendingIDs = append(rep.PendingIDs, <-undispatched...)
+
+	if journalErr != nil {
+		return rep, fmt.Errorf("campaign: checkpoint: %w", journalErr)
+	}
+	if jl != nil {
+		if err := jl.Close(); err != nil {
+			return rep, fmt.Errorf("campaign: checkpoint: %w", err)
+		}
+	}
+	if len(rep.PendingIDs) > 0 {
+		return rep, fmt.Errorf("%w: %d of %d jobs not run: %w",
+			ErrIncomplete, len(rep.PendingIDs), len(jobs), context.Cause(ctx))
+	}
+	return rep, nil
+}
+
+// runJob executes one job through its attempt budget. The returned
+// abandoned flag is true when ctx was cancelled between attempts: the
+// job is neither done nor failed-permanent and must stay pending.
+func runJob[R any](ctx context.Context, cfg Config, job Job[R]) (Result[R], bool) {
+	res := Result[R]{ID: job.ID}
+	backoff := cfg.Backoff
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		v, err := runAttempt(cfg, job)
+		if err == nil {
+			res.Status = StatusDone
+			res.Value = v
+			return res, false
+		}
+		res.Err = err.Error()
+		res.Cause = err
+		res.Stack = ""
+		var pe *panicError
+		if errors.As(err, &pe) {
+			res.Stack = pe.stack
+		}
+		if attempt >= cfg.Attempts {
+			res.Status = StatusFailed
+			return res, false
+		}
+		if !sleep(ctx, backoff) {
+			return res, true
+		}
+		backoff *= 2
+	}
+}
+
+// runAttempt runs a single attempt under the per-job deadline with
+// panic isolation.
+func runAttempt[R any](cfg Config, job Job[R]) (v R, err error) {
+	// The job context is detached from the campaign context on
+	// purpose: graceful drain means in-flight jobs run to completion.
+	jctx := context.Background()
+	if cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(jctx, cfg.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = &panicError{value: fmt.Sprint(p), stack: string(debug.Stack())}
+		}
+	}()
+	return job.Run(jctx)
+}
+
+// sleep waits d or until ctx is cancelled; it reports whether the full
+// duration elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

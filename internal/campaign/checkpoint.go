@@ -1,0 +1,207 @@
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The checkpoint is an append-only JSONL journal: a header line
+// carrying the campaign's config hash, then one line per finished job.
+// Records are written in a single Write call and fsynced before the job
+// counts as finished, so after a crash the journal holds at most one
+// torn trailing line, which load tolerates (the file is truncated back
+// to the last complete record before appending resumes). Everything
+// else about the file is strict: a corrupt non-trailing line or a
+// config-hash mismatch is a hard error, never silent reuse.
+
+// journalVersion is the checkpoint format version; bumped on
+// incompatible record changes so stale journals fail loudly.
+const journalVersion = 1
+
+// Errors returned by the checkpoint layer.
+var (
+	// ErrCheckpointExists rejects a fresh (non-resume) run onto an
+	// existing checkpoint file: pass Resume or remove the file.
+	ErrCheckpointExists = errors.New("campaign: checkpoint file already exists (resume, or remove it to start over)")
+	// ErrNoCheckpoint rejects Resume when the checkpoint file does not
+	// exist.
+	ErrNoCheckpoint = errors.New("campaign: resume requested but checkpoint file does not exist")
+	// ErrConfigHashMismatch rejects resuming a checkpoint written
+	// under a different campaign configuration.
+	ErrConfigHashMismatch = errors.New("campaign: checkpoint config hash mismatch (the journal was written by a differently-configured campaign)")
+	// ErrCorruptCheckpoint marks an unparseable non-trailing journal
+	// line.
+	ErrCorruptCheckpoint = errors.New("campaign: corrupt checkpoint")
+)
+
+type journalHeader struct {
+	V          int    `json:"v"`
+	ConfigHash string `json:"config_hash"`
+}
+
+// journal is the append side of an open checkpoint.
+type journal struct {
+	f      *os.File
+	closed bool
+}
+
+// Append journals one finished job: a single JSON line, written in one
+// call and fsynced so the record survives a crash of the very next
+// instruction.
+func (j *journal) Append(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal; further Appends fail. Safe to call twice.
+func (j *journal) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// openCheckpoint opens path for journaling. A fresh run creates the
+// file (failing if it already exists); a resume loads the finished
+// records — verifying the config hash — truncates any torn trailing
+// line, and reopens for appending.
+func openCheckpoint[R any](path, hash string, resume bool) (*journal, map[string]Result[R], error) {
+	if resume {
+		return resumeCheckpoint[R](path, hash)
+	}
+	if _, err := os.Stat(path); err == nil {
+		return nil, nil, fmt.Errorf("%w: %s", ErrCheckpointExists, path)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	jl := &journal{f: f}
+	if err := jl.Append(journalHeader{V: journalVersion, ConfigHash: hash}); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	syncDir(path)
+	return jl, nil, nil
+}
+
+func resumeCheckpoint[R any](path, hash string) (*journal, map[string]Result[R], error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, path)
+		}
+		return nil, nil, err
+	}
+	done, validLen, err := parseJournal[R](blob, hash)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drop a torn trailing record (crash mid-append) before new
+	// appends, so the journal stays line-parseable.
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{f: f}, done, nil
+}
+
+// parseJournal decodes the journal: header first, then one record per
+// line. It returns the finished records and the byte length of the
+// valid prefix (everything before a torn trailing line).
+func parseJournal[R any](blob []byte, hash string) (map[string]Result[R], int64, error) {
+	done := make(map[string]Result[R])
+	var off int64
+	sawHeader := false
+	for len(blob) > 0 {
+		nl := bytes.IndexByte(blob, '\n')
+		if nl < 0 {
+			// Torn trailing line: the crash interrupted an append.
+			// Everything before it is valid; the job it described was
+			// never acknowledged, so dropping it is safe.
+			break
+		}
+		line := blob[:nl]
+		blob = blob[nl+1:]
+		if !sawHeader {
+			var h journalHeader
+			if err := json.Unmarshal(line, &h); err != nil || h.V == 0 {
+				return nil, 0, fmt.Errorf("%w: bad header", ErrCorruptCheckpoint)
+			}
+			if h.V != journalVersion {
+				return nil, 0, fmt.Errorf("%w: journal version %d, want %d",
+					ErrCorruptCheckpoint, h.V, journalVersion)
+			}
+			if h.ConfigHash != hash {
+				return nil, 0, fmt.Errorf("%w: journal %s, campaign %s",
+					ErrConfigHashMismatch, h.ConfigHash, hash)
+			}
+			sawHeader = true
+			off += int64(nl + 1)
+			continue
+		}
+		var r Result[R]
+		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
+			if len(blob) == 0 {
+				// Complete-looking but unparseable final line: treat
+				// as torn (a crash can land exactly on the newline of
+				// a partial buffered write).
+				break
+			}
+			return nil, 0, fmt.Errorf("%w: unparseable record at byte %d", ErrCorruptCheckpoint, off)
+		}
+		done[r.ID] = r
+		off += int64(nl + 1)
+	}
+	if !sawHeader {
+		return nil, 0, fmt.Errorf("%w: missing header", ErrCorruptCheckpoint)
+	}
+	return done, off, nil
+}
+
+// syncDir fsyncs the directory containing path so a just-created
+// journal survives a crash of the host (best-effort: some platforms
+// reject directory fsync).
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	d.Sync() //nolint:errcheck // best-effort
+}
+
+// HashJSON fingerprints a configuration value: the SHA-256 of its
+// canonical JSON encoding, truncated for readability. Campaigns use it
+// to refuse resuming a checkpoint written under different settings.
+func HashJSON(v any) (string, error) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:8]), nil
+}

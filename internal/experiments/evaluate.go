@@ -6,12 +6,8 @@
 package experiments
 
 import (
-	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"ftspm/internal/avf"
 	"ftspm/internal/core"
@@ -67,8 +63,10 @@ type Outcome struct {
 	Structure core.Structure
 	// Spec is the structure geometry.
 	Spec core.Spec
-	// Profile is the off-line profiling result.
-	Profile *profile.Profile
+	// Profile is the off-line profiling result. It is excluded from
+	// JSON so checkpointed sweep records stay compact; consumers of
+	// serialized outcomes (figures, summaries) never read it.
+	Profile *profile.Profile `json:"-"`
 	// Mapping is the MDA output.
 	Mapping core.Mapping
 	// Sim is the execution accounting.
@@ -170,157 +168,4 @@ func EvaluateByName(name string, structure core.Structure, opts Options) (Outcom
 		return Outcome{}, err
 	}
 	return Evaluate(w, structure, opts)
-}
-
-// Sweep evaluates the full MiBench-substitute suite on all three
-// structures. Outcomes are indexed [workload][structure in
-// core.Structures() order].
-type Sweep struct {
-	// Workloads lists the evaluated workload names in order.
-	Workloads []string
-	// Outcomes holds one row per workload, one column per structure in
-	// core.Structures() order (pure SRAM, pure STT, FTSPM).
-	Outcomes [][]Outcome
-	// Options records the sweep settings.
-	Options Options
-}
-
-// RunSweep evaluates the suite. See RunSweepContext.
-func RunSweep(opts Options) (*Sweep, error) {
-	return RunSweepContext(context.Background(), opts)
-}
-
-// sharedWorkload is the once-per-workload state of a sweep: the
-// materialized trace and its profile, computed by whichever worker
-// reaches the workload first and read-shared by the structure runs.
-// remaining counts the structure runs still owing a replay; the last
-// one drops the trace so at most a worker-pool's worth of traces is
-// ever live.
-type sharedWorkload struct {
-	once      sync.Once
-	events    []trace.Event
-	prof      *profile.Profile
-	err       error
-	remaining atomic.Int32
-}
-
-// RunSweepContext evaluates the full suite on all structures. The
-// profile and trace of each (workload, scale) depend only on the
-// seeded generator, never on the structure, so each workload is
-// profiled exactly once and its trace is materialized exactly once;
-// the (workload, structure) simulations fan out over a bounded worker
-// pool, replaying the shared trace. Results are deterministic
-// regardless of scheduling (every generator is seeded, shared state is
-// read-only, and each run owns its machine). On the first error the
-// context is cancelled, outstanding jobs are abandoned, and the error
-// — wrapped with the failing (workload, structure) pair — is returned.
-func RunSweepContext(ctx context.Context, opts Options) (*Sweep, error) {
-	opts = opts.normalize()
-	suite := workloads.Suite()
-	structures := core.Structures()
-	sw := &Sweep{Options: opts}
-	sw.Workloads = make([]string, len(suite))
-	sw.Outcomes = make([][]Outcome, len(suite))
-	shares := make([]sharedWorkload, len(suite))
-	for i, w := range suite {
-		sw.Workloads[i] = w.Name
-		sw.Outcomes[i] = make([]Outcome, len(structures))
-		shares[i].remaining.Store(int32(len(structures)))
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	type job struct{ wi, si int }
-	jobs := make(chan job)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(suite)*len(structures) {
-		workers = len(suite) * len(structures)
-	}
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-	for n := 0; n < workers; n++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if ctx.Err() != nil {
-					continue
-				}
-				w := suite[j.wi]
-				sh := &shares[j.wi]
-				sh.once.Do(func() {
-					sh.events = w.TraceEvents(opts.Scale)
-					sh.prof, sh.err = profile.Run(w.Program(), trace.Replay(sh.events))
-					if sh.err != nil {
-						sh.err = fmt.Errorf("experiments: profile %s: %w", w.Name, sh.err)
-					}
-				})
-				if sh.err != nil {
-					fail(sh.err)
-					continue
-				}
-				spec, err := core.NewSpec(structures[j.si])
-				if err != nil {
-					fail(fmt.Errorf("experiments: sweep %s/%v: %w", w.Name, structures[j.si], err))
-					continue
-				}
-				out, err := evaluateSpecStream(w, spec, sh.prof, trace.Replay(sh.events), opts)
-				if err != nil {
-					fail(fmt.Errorf("experiments: sweep %s/%v: %w", w.Name, structures[j.si], err))
-					continue
-				}
-				sw.Outcomes[j.wi][j.si] = out
-				if sh.remaining.Add(-1) == 0 {
-					sh.events = nil // last replay done; release the trace
-				}
-			}
-		}()
-	}
-	// Structure-major order spreads the once-per-workload profiling over
-	// distinct workers instead of serializing them on one sync.Once.
-	go func() {
-		defer close(jobs)
-		for si := range structures {
-			for wi := range suite {
-				select {
-				case jobs <- job{wi: wi, si: si}:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}
-	}()
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return sw, nil
-}
-
-// Get returns the outcome for a workload/structure pair.
-func (s *Sweep) Get(workload string, structure core.Structure) (Outcome, error) {
-	for i, name := range s.Workloads {
-		if name != workload {
-			continue
-		}
-		for _, out := range s.Outcomes[i] {
-			if out.Structure == structure {
-				return out, nil
-			}
-		}
-	}
-	return Outcome{}, fmt.Errorf("experiments: no outcome for %s/%v", workload, structure)
 }

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
+	"ftspm/internal/campaign"
 	"ftspm/internal/core"
 	"ftspm/internal/faults"
 	"ftspm/internal/profile"
@@ -89,6 +90,15 @@ type SoakReport struct {
 	Structure core.Structure `json:"structure"`
 	// Trials is the number of completed runs.
 	Trials int `json:"trials"`
+	// PlannedTrials is the configured trial count, recorded only when it
+	// differs from Trials — i.e. when the report was salvaged from an
+	// interrupted or partially-failed campaign. Complete reports omit it
+	// (and Incomplete), so their JSON is unchanged from earlier versions.
+	PlannedTrials int `json:"planned_trials,omitempty"`
+	// Incomplete marks a salvaged report whose campaign was drained or
+	// lost trials to permanent failures; resuming from the checkpoint
+	// runs the missing trials.
+	Incomplete bool `json:"incomplete,omitempty"`
 	// Accesses and Strikes are summed over all trials.
 	Accesses uint64 `json:"accesses"`
 	Strikes  uint64 `json:"strikes"`
@@ -126,96 +136,241 @@ func (r SoakReport) perStrike(n float64) float64 {
 	return n / float64(r.Strikes)
 }
 
-// soakTrial is one trial's contribution, collected per index so the
-// aggregate is deterministic regardless of worker scheduling.
-type soakTrial struct {
-	accesses uint64
-	strikes  uint64
-	recovery spm.RecoveryStats
-	audit    faults.Tally
+// soakTrialResult is one trial's contribution. Fields are exported so
+// checkpointed trials round-trip through the campaign journal.
+type soakTrialResult struct {
+	Accesses uint64            `json:"accesses"`
+	Strikes  uint64            `json:"strikes"`
+	Recovery spm.RecoveryStats `json:"recovery"`
+	Audit    faults.Tally      `json:"audit"`
 }
 
-// RunSoak executes a soak campaign: Trials seeded runs of the workload
-// on the structure, each under its own strike/wear streams, aggregated
-// into one report. Trials run on a bounded worker pool; the trace is
-// materialized once and replayed read-only by every trial.
+// RunSoak executes a soak campaign in-memory: Trials seeded runs of the
+// workload on the structure, aggregated into one report. Any trial
+// failure fails the campaign with that trial's error. See
+// RunSoakCampaign for the crash-safe form.
 func RunSoak(opts SoakOptions) (*SoakReport, error) {
 	opts = opts.normalize()
-	if err := opts.Dist.Validate(); err != nil {
-		return nil, fmt.Errorf("experiments: soak: %w", err)
-	}
-	w, err := workloads.ByName(opts.Workload)
+	reps, status, err := RunSoakCampaign(context.Background(), opts,
+		[]core.Structure{opts.Structure}, CampaignConfig{})
 	if err != nil {
 		return nil, err
 	}
-	spec, err := core.NewSpec(opts.Structure)
-	if err != nil {
-		return nil, err
+	if f := status.FirstFailure(); f != nil {
+		return nil, f
 	}
-	events := w.TraceEvents(opts.Scale)
-	prof, err := profile.Run(w.Program(), trace.Replay(events))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: soak profile %s: %w", w.Name, err)
+	return reps[0], nil
+}
+
+// soakShared is the campaign-wide lazily-computed state: the workload
+// trace is materialized once and its profile computed once, shared
+// read-only by every structure and trial.
+type soakShared struct {
+	w      workloads.Workload
+	opts   SoakOptions
+	once   sync.Once
+	events []trace.Event
+	prof   *profile.Profile
+	err    error
+}
+
+func (sh *soakShared) ensure() error {
+	sh.once.Do(func() {
+		sh.events = sh.w.TraceEvents(sh.opts.Scale)
+		sh.prof, sh.err = profile.Run(sh.w.Program(), trace.Replay(sh.events))
+		if sh.err != nil {
+			sh.err = fmt.Errorf("experiments: soak profile %s: %w", sh.w.Name, sh.err)
+		}
+	})
+	if sh.err != nil {
+		return sh.err
 	}
-	mapping, err := core.MapBlocks(prof, spec, opts.Thresholds, opts.Priority)
+	if sh.prof == nil {
+		return fmt.Errorf("experiments: soak profile %s: unavailable (profiling panicked)", sh.w.Name)
+	}
+	return nil
+}
+
+// soakStructShared is the per-structure lazily-computed state: the spec
+// and MDA placement every trial of that structure replays against.
+type soakStructShared struct {
+	structure core.Structure
+	once      sync.Once
+	spec      core.Spec
+	place     spm.Placement
+	err       error
+	ready     bool
+}
+
+func (ss *soakStructShared) ensure(sh *soakShared) error {
+	if err := sh.ensure(); err != nil {
+		return err
+	}
+	ss.once.Do(func() {
+		ss.spec, ss.err = core.NewSpec(ss.structure)
+		if ss.err != nil {
+			return
+		}
+		var mapping core.Mapping
+		mapping, ss.err = core.MapBlocks(sh.prof, ss.spec, sh.opts.Thresholds, sh.opts.Priority)
+		if ss.err != nil {
+			ss.err = fmt.Errorf("experiments: soak map %s/%v: %w", sh.w.Name, ss.structure, ss.err)
+			return
+		}
+		ss.place = mapping.Placement
+		ss.ready = true
+	})
+	if ss.err != nil {
+		return ss.err
+	}
+	if !ss.ready {
+		return fmt.Errorf("experiments: soak map %s/%v: unavailable (mapping panicked)", sh.w.Name, ss.structure)
+	}
+	return nil
+}
+
+// soakJobID is the deterministic identity of one (structure, trial)
+// job; workload, scale, seed, and every other knob are carried by the
+// campaign's config hash.
+func soakJobID(s core.Structure, trial int) string {
+	return fmt.Sprintf("soak/%v/trial/%d", s, trial)
+}
+
+// soakConfigHash fingerprints everything that determines a soak trial's
+// result.
+func soakConfigHash(opts SoakOptions, structures []core.Structure) (string, error) {
+	structs := make([]string, len(structures))
+	for i, s := range structures {
+		structs[i] = s.String()
+	}
+	return campaign.HashJSON(struct {
+		Kind       string
+		Options    SoakOptions
+		Structures []string
+	}{Kind: "soak", Options: opts, Structures: structs})
+}
+
+// RunSoakCampaign executes the soak as a crash-safe campaign over every
+// (structure, trial) pair: base.Trials seeded runs of the workload on
+// each listed structure, fanned out over the bounded worker pool. Trial
+// t uses the same derived seeds on every structure, so the structures
+// face identical strike streams (a paired comparison). The trace is
+// materialized once and replayed read-only by every trial.
+//
+// One report per structure is returned in input order, aggregating the
+// trials in trial order so the result is deterministic regardless of
+// scheduling — and byte-identical whether the campaign ran through or
+// was interrupted and resumed from its checkpoint. A trial that panics
+// or errors fails alone (recorded in the status with its stack); a
+// cancelled context drains in-flight trials, salvages the finished
+// ones into reports marked Incomplete, and returns an error wrapping
+// campaign.ErrIncomplete.
+func RunSoakCampaign(ctx context.Context, base SoakOptions, structures []core.Structure,
+	cc CampaignConfig) ([]*SoakReport, *CampaignStatus, error) {
+	base = base.normalize()
+	if err := cc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(structures) == 0 {
+		structures = []core.Structure{base.Structure}
+	}
+	for _, s := range structures {
+		if !s.Valid() {
+			return nil, nil, fmt.Errorf("experiments: soak: invalid structure %d", s)
+		}
+	}
+	if err := base.Dist.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("experiments: soak: %w", err)
+	}
+	w, err := workloads.ByName(base.Workload)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: soak map %s/%v: %w", w.Name, opts.Structure, err)
+		return nil, nil, err
+	}
+	hash, err := soakConfigHash(base, structures)
+	if err != nil {
+		return nil, nil, err
 	}
 
-	trials := make([]soakTrial, opts.Trials)
-	errs := make([]error, opts.Trials)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > opts.Trials {
-		workers = opts.Trials
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for n := 0; n < workers; n++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range jobs {
-				trials[t], errs[t] = runSoakTrial(w, spec, mapping.Placement, events, opts, t)
-			}
-		}()
-	}
-	for t := 0; t < opts.Trials; t++ {
-		jobs <- t
-	}
-	close(jobs)
-	wg.Wait()
-	for t, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: soak trial %d: %w", t, err)
+	sh := &soakShared{w: w, opts: base}
+	jobs := make([]campaign.Job[soakTrialResult], 0, len(structures)*base.Trials)
+	order := make([]string, 0, cap(jobs))
+	// Structure-major dispatch: with short trials this keeps every
+	// structure's shared setup warm early instead of computing them all
+	// back-to-back at the end.
+	for _, s := range structures {
+		s := s
+		ss := &soakStructShared{structure: s}
+		opts := base
+		opts.Structure = s
+		for t := 0; t < base.Trials; t++ {
+			t := t
+			id := soakJobID(s, t)
+			order = append(order, id)
+			jobs = append(jobs, campaign.Job[soakTrialResult]{
+				ID: id,
+				Run: func(context.Context) (soakTrialResult, error) {
+					if err := ss.ensure(sh); err != nil {
+						return soakTrialResult{}, err
+					}
+					res, err := runSoakTrial(w, ss.spec, ss.place, sh.events, opts, t)
+					if err != nil {
+						return soakTrialResult{}, fmt.Errorf("experiments: soak trial %d: %w", t, err)
+					}
+					return res, nil
+				},
+			})
 		}
 	}
 
-	rep := &SoakReport{Workload: w.Name, Structure: opts.Structure, Trials: opts.Trials}
+	rep, runErr := campaign.Run(ctx, cc.runnerConfig(hash), jobs)
+	if rep == nil {
+		return nil, nil, runErr
+	}
+	reports := make([]*SoakReport, len(structures))
+	for i, s := range structures {
+		trials := make([]soakTrialResult, 0, base.Trials)
+		for t := 0; t < base.Trials; t++ {
+			if r, ok := rep.Results[soakJobID(s, t)]; ok && r.Status == campaign.StatusDone {
+				trials = append(trials, r.Value)
+			}
+		}
+		reports[i] = aggregateSoak(w.Name, s, base.Trials, trials)
+	}
+	return reports, statusOf(rep, order), runErr
+}
+
+// aggregateSoak folds completed trials into one report, in trial order.
+func aggregateSoak(workload string, s core.Structure, planned int, trials []soakTrialResult) *SoakReport {
+	rep := &SoakReport{Workload: workload, Structure: s, Trials: len(trials)}
+	if len(trials) != planned {
+		rep.PlannedTrials = planned
+		rep.Incomplete = true
+	}
 	var degradedSum float64
 	for _, tr := range trials {
-		rep.Accesses += tr.accesses
-		rep.Strikes += tr.strikes
-		rep.Recovery.Add(tr.recovery)
-		rep.EndAudit.Benign += tr.audit.Benign
-		rep.EndAudit.DRE += tr.audit.DRE
-		rep.EndAudit.DUE += tr.audit.DUE
-		rep.EndAudit.SDC += tr.audit.SDC
-		if tr.recovery.FirstDegradedTick > 0 {
+		rep.Accesses += tr.Accesses
+		rep.Strikes += tr.Strikes
+		rep.Recovery.Add(tr.Recovery)
+		rep.EndAudit.Benign += tr.Audit.Benign
+		rep.EndAudit.DRE += tr.Audit.DRE
+		rep.EndAudit.DUE += tr.Audit.DUE
+		rep.EndAudit.SDC += tr.Audit.SDC
+		if tr.Recovery.FirstDegradedTick > 0 {
 			rep.DegradedTrials++
-			degradedSum += float64(tr.recovery.FirstDegradedTick)
+			degradedSum += float64(tr.Recovery.FirstDegradedTick)
 		}
 	}
 	if rep.DegradedTrials > 0 {
 		rep.MeanTimeToDegraded = degradedSum / float64(rep.DegradedTrials)
 	}
-	return rep, nil
+	return rep
 }
 
 // runSoakTrial executes one seeded trial. Every random stream (strikes,
 // wear) is derived from the campaign seed and the trial index, so the
 // campaign is reproducible and its trials are independent.
 func runSoakTrial(w workloads.Workload, spec core.Spec, place spm.Placement,
-	events []trace.Event, opts SoakOptions, t int) (soakTrial, error) {
+	events []trace.Event, opts SoakOptions, t int) (soakTrialResult, error) {
 	const trialStride = 1_000_003 // prime: keeps per-trial seeds distinct
 	cfg := spec.SimConfig(place)
 	if opts.StrikesPerAccess > 0 {
@@ -237,11 +392,11 @@ func runSoakTrial(w workloads.Workload, spec core.Spec, place spm.Placement,
 	}
 	m, err := sim.New(w.Program(), cfg)
 	if err != nil {
-		return soakTrial{}, err
+		return soakTrialResult{}, err
 	}
 	res, err := m.Run(trace.Replay(events))
 	if err != nil {
-		return soakTrial{}, err
+		return soakTrialResult{}, err
 	}
 	audit := m.DataSPM().Audit()
 	iAudit := m.InstSPM().Audit()
@@ -249,10 +404,10 @@ func runSoakTrial(w workloads.Workload, spec core.Spec, place spm.Placement,
 	audit.DRE += iAudit.DRE
 	audit.DUE += iAudit.DUE
 	audit.SDC += iAudit.SDC
-	return soakTrial{
-		accesses: res.Accesses,
-		strikes:  res.InjectedStrikes,
-		recovery: res.RecoveryTotals(),
-		audit:    audit,
+	return soakTrialResult{
+		Accesses: res.Accesses,
+		Strikes:  res.InjectedStrikes,
+		Recovery: res.RecoveryTotals(),
+		Audit:    audit,
 	}, nil
 }

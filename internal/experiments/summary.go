@@ -18,6 +18,10 @@ type Summary struct {
 	Headlines Headlines `json:"headlines"`
 	// Runs holds the per-run metrics.
 	Runs []RunSummary `json:"runs"`
+	// Campaign records the crash-safe campaign's salvage status when the
+	// sweep was interrupted or lost jobs to permanent failures. Complete
+	// sweeps omit it, so their JSON is unchanged from earlier versions.
+	Campaign *CampaignStatus `json:"campaign,omitempty"`
 }
 
 // Headlines are the whole-suite aggregates matched against the paper.
@@ -94,6 +98,28 @@ func Summarize(sw *Sweep) (*Summary, error) {
 	}
 	for i := range sw.Workloads {
 		for _, out := range sw.Outcomes[i] {
+			s.Runs = append(s.Runs, summarizeRun(out))
+		}
+	}
+	return s, nil
+}
+
+// SummarizePartial flattens a possibly-salvaged sweep. A complete,
+// fully-successful campaign (resumed or not) summarizes exactly as
+// Summarize, byte-identically to an uninterrupted run; a salvaged sweep
+// keeps only the runs that finished, zeroes the cross-suite headlines
+// (meaningless over a partial suite), and records the campaign status
+// under "campaign".
+func SummarizePartial(sw *Sweep, status *CampaignStatus) (*Summary, error) {
+	if status == nil || (!status.Incomplete && len(status.Failures) == 0) {
+		return Summarize(sw)
+	}
+	s := &Summary{Scale: sw.Options.Scale, Campaign: status}
+	for i, name := range sw.Workloads {
+		for _, out := range sw.Outcomes[i] {
+			if out.Workload != name {
+				continue // cell lost to the drain or a failed job
+			}
 			s.Runs = append(s.Runs, summarizeRun(out))
 		}
 	}

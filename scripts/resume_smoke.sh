@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# resume_smoke.sh — interrupted-resume smoke test for the crash-safe
+# soak campaign runner.
+#
+# Golden run -> checkpointed run SIGTERMed mid-campaign -> resumed run,
+# then the resumed JSON report must be byte-identical to the golden one.
+# Exercises the real process-level path: signal handling, graceful
+# drain, checkpoint flush, exit code 3, and -resume.
+set -u
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+# A real binary, not `go run`: the SIGTERM must reach the soak process
+# itself, not the go tool wrapping it.
+go build -o "$DIR/ftspm-soak" ./cmd/ftspm-soak || exit 1
+SOAK="$DIR/ftspm-soak"
+
+# Big enough that the SIGTERM lands mid-campaign, small enough for CI.
+ARGS=(-structures ftspm,sram,stt -trials 6 -scale 0.05 -strike 0.01 -seed 11 -workers 2)
+
+echo "== golden (uninterrupted) run"
+$SOAK "${ARGS[@]}" -json "$DIR/golden.json" >"$DIR/golden.log" || {
+  echo "golden run failed"; cat "$DIR/golden.log"; exit 1; }
+
+echo "== interrupted run (SIGTERM once the checkpoint appears)"
+$SOAK "${ARGS[@]}" -checkpoint "$DIR/soak.ckpt" -json "$DIR/interrupted.json" \
+  >"$DIR/interrupted.log" 2>&1 &
+PID=$!
+# Wait for the journal to hold at least one finished trial (header + 1
+# record), then interrupt.
+for _ in $(seq 1 200); do
+  [ -f "$DIR/soak.ckpt" ] && [ "$(wc -l <"$DIR/soak.ckpt")" -ge 2 ] && break
+  sleep 0.05
+done
+kill -TERM "$PID" 2>/dev/null
+wait "$PID"
+STATUS=$?
+# 3 = drained and salvaged (the expected case); 0 = the campaign beat
+# the signal, which still leaves a complete journal for the resume leg.
+if [ "$STATUS" != 3 ] && [ "$STATUS" != 0 ]; then
+  echo "interrupted run exited $STATUS (want 3, or 0 if it finished first)"
+  cat "$DIR/interrupted.log"
+  exit 1
+fi
+echo "   interrupted run exited $STATUS"
+
+echo "== resumed run"
+$SOAK "${ARGS[@]}" -checkpoint "$DIR/soak.ckpt" -resume -json "$DIR/resumed.json" \
+  >"$DIR/resumed.log" || { echo "resume failed"; cat "$DIR/resumed.log"; exit 1; }
+grep -q "resumed" "$DIR/resumed.log" || {
+  echo "resume log does not mention resumed trials"; cat "$DIR/resumed.log"; exit 1; }
+
+echo "== diff resumed vs golden"
+if ! cmp -s "$DIR/golden.json" "$DIR/resumed.json"; then
+  echo "resumed report is NOT byte-identical to the golden run:"
+  diff "$DIR/golden.json" "$DIR/resumed.json" | head -50
+  exit 1
+fi
+
+echo "== resume onto the now-complete checkpoint must re-run nothing"
+$SOAK "${ARGS[@]}" -checkpoint "$DIR/soak.ckpt" -resume -json "$DIR/noop.json" \
+  >"$DIR/noop.log" || { echo "no-op resume failed"; cat "$DIR/noop.log"; exit 1; }
+grep -q "resumed 18 finished trials" "$DIR/noop.log" || {
+  echo "no-op resume re-ran trials"; cat "$DIR/noop.log"; exit 1; }
+cmp -s "$DIR/golden.json" "$DIR/noop.json" || { echo "no-op resume drifted"; exit 1; }
+
+echo "resume smoke OK (byte-identical after interrupt + resume)"
