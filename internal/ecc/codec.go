@@ -3,6 +3,7 @@ package ecc
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Status classifies the outcome of decoding one codeword, matching the
@@ -58,11 +59,20 @@ type Codec interface {
 // ErrBadDataBits is returned for unsupported payload widths.
 var ErrBadDataBits = errors.New("ecc: unsupported number of data bits")
 
+// lowMask returns a mask of the low k bits (1 ≤ k ≤ 64).
+func lowMask(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(k)) - 1
+}
+
 // ParityCodec is a single even-parity bit over k data bits: detects any
 // odd number of bit flips, corrects nothing. This is protection level (2)
 // of Table IV.
 type ParityCodec struct {
-	k int
+	k    int
+	mask uint64 // low k bits
 }
 
 var _ Codec = (*ParityCodec)(nil)
@@ -72,7 +82,7 @@ func NewParity(k int) (*ParityCodec, error) {
 	if k < 1 || k > 64 {
 		return nil, fmt.Errorf("%w: %d", ErrBadDataBits, k)
 	}
-	return &ParityCodec{k: k}, nil
+	return &ParityCodec{k: k, mask: lowMask(k)}, nil
 }
 
 // Name implements Codec.
@@ -86,20 +96,40 @@ func (c *ParityCodec) CodeBits() int { return c.k + 1 }
 
 // Encode implements Codec: the parity bit is stored at position k.
 func (c *ParityCodec) Encode(data Bits) Bits {
-	code := c.maskData(data)
-	return code.Set(c.k, code.OnesCount()%2 == 1)
+	d := data.w[0] & c.mask
+	code := Bits{w: [2]uint64{d, 0}}
+	if bits.OnesCount64(d)%2 == 1 {
+		code = code.Set(c.k, true)
+	}
+	return code
 }
 
 // Decode implements Codec.
 func (c *ParityCodec) Decode(code Bits) (Bits, Status) {
-	data := c.maskData(code)
+	data := Bits{w: [2]uint64{code.w[0] & c.mask, 0}}
 	if code.OnesCount()%2 != 0 {
 		return data, Detected
 	}
 	return data, Clean
 }
 
-func (c *ParityCodec) maskData(b Bits) Bits {
+// encodeBitwise is the pre-table reference implementation, kept as the
+// oracle for golden-vector and fuzz cross-checks.
+func (c *ParityCodec) encodeBitwise(data Bits) Bits {
+	code := c.maskDataBitwise(data)
+	return code.Set(c.k, code.OnesCount()%2 == 1)
+}
+
+// decodeBitwise is the pre-table reference implementation.
+func (c *ParityCodec) decodeBitwise(code Bits) (Bits, Status) {
+	data := c.maskDataBitwise(code)
+	if code.OnesCount()%2 != 0 {
+		return data, Detected
+	}
+	return data, Clean
+}
+
+func (c *ParityCodec) maskDataBitwise(b Bits) Bits {
 	var out Bits
 	for i := 0; i < c.k; i++ {
 		if b.Get(i) {
@@ -113,11 +143,26 @@ func (c *ParityCodec) maskData(b Bits) Bits {
 // r check bits at power-of-two positions plus one overall parity bit.
 // k=32 yields the (39,32) organization, k=64 the (72,64) organization
 // referenced by the paper's SEC-DED regions (Table IV protection (3)).
+//
+// Encode and Decode are table-driven: the code is linear, so a codeword
+// is the XOR of per-data-bit parity masks (encMask), and decoding walks
+// only the set bits of the stored word, accumulating the syndrome and
+// the extracted payload in one pass. A syndrome→bit-position table
+// (corr) replaces the positional arithmetic of the correction step. The
+// original per-bit loops survive as encodeBitwise/decodeBitwise, the
+// oracle the golden-vector tests and the fuzz cross-check compare
+// against.
 type HammingCodec struct {
 	k       int   // data bits
 	r       int   // Hamming check bits
 	n       int   // inner code length = k + r (positions 1..n)
 	dataPos []int // 1-based inner positions holding data bits, len k
+
+	dataMask uint64     // low k bits of the payload
+	codeMask [2]uint64  // bits 0..n of the stored word (valid codeword positions)
+	encMask  [64]Bits   // per-data-bit codeword contribution, overall parity excluded
+	posData  [128]int8  // codeword position → payload bit index, -1 = check/parity position
+	corr     [128]int16 // syndrome → codeword position to flip, -1 = outside the code (≥3 flips)
 }
 
 var _ Codec = (*HammingCodec)(nil)
@@ -140,7 +185,40 @@ func NewHamming(k int) (*HammingCodec, error) {
 			c.dataPos = append(c.dataPos, pos)
 		}
 	}
+	c.buildTables()
 	return c, nil
+}
+
+// buildTables precomputes the encode masks and decode lookup tables from
+// the bitwise reference path, which guarantees the two stay codeword-
+// compatible by construction.
+func (c *HammingCodec) buildTables() {
+	c.dataMask = lowMask(c.k)
+	full := Bits{}
+	for pos := 0; pos <= c.n; pos++ {
+		full = full.Set(pos, true)
+	}
+	c.codeMask = full.w
+	for i := range c.posData {
+		c.posData[i] = -1
+	}
+	for i, pos := range c.dataPos {
+		c.posData[pos] = int8(i)
+	}
+	for i := 0; i < c.k; i++ {
+		// The code is linear: the codeword of e_i (data position plus the
+		// check bits covering it) is the XOR contribution of data bit i.
+		// The overall parity bit is not linear per mask; Encode recomputes
+		// it from the popcount of the assembled word.
+		c.encMask[i] = c.encodeBitwise(BitsFromUint64(1 << uint(i))).Set(0, false)
+	}
+	for s := range c.corr {
+		if s >= 1 && s <= c.n {
+			c.corr[s] = int16(s) // the syndrome IS the flipped position
+		} else {
+			c.corr[s] = -1
+		}
+	}
 }
 
 // MustHamming is NewHamming for statically-valid widths; it panics on
@@ -165,8 +243,72 @@ func (c *HammingCodec) CodeBits() int { return c.n + 1 }
 // Codeword layout in the returned Bits: bit 0 holds the overall parity,
 // bits 1..n hold the inner Hamming codeword at their natural positions.
 
-// Encode implements Codec.
+// Encode implements Codec: XOR of the parity masks of the set data bits,
+// then the overall parity from one popcount.
 func (c *HammingCodec) Encode(data Bits) Bits {
+	var code Bits
+	for v := data.w[0] & c.dataMask; v != 0; v &= v - 1 {
+		m := &c.encMask[bits.TrailingZeros64(v)]
+		code.w[0] ^= m.w[0]
+		code.w[1] ^= m.w[1]
+	}
+	if code.OnesCount()%2 == 1 {
+		code.w[0] |= 1
+	}
+	return code
+}
+
+// Decode implements Codec: one pass over the set bits of the stored word
+// accumulates the syndrome and the extracted payload; the correction step
+// is a table lookup.
+func (c *HammingCodec) Decode(code Bits) (Bits, Status) {
+	syndrome := 0
+	var data uint64
+	for v := code.w[0] & c.codeMask[0]; v != 0; v &= v - 1 {
+		p := bits.TrailingZeros64(v)
+		syndrome ^= p // position 0 (overall parity) contributes 0
+		if d := c.posData[p]; d >= 0 {
+			data |= 1 << uint(d)
+		}
+	}
+	for v := code.w[1] & c.codeMask[1]; v != 0; v &= v - 1 {
+		p := 64 + bits.TrailingZeros64(v)
+		syndrome ^= p
+		if d := c.posData[p]; d >= 0 {
+			data |= 1 << uint(d)
+		}
+	}
+	overall := code.OnesCount()%2 != 0 // parity of ALL stored bits
+
+	switch {
+	case syndrome == 0 && !overall:
+		return BitsFromUint64(data), Clean
+	case overall:
+		// Odd number of flips → assume single and correct it. A
+		// syndrome of 0 means the overall parity bit itself flipped.
+		if syndrome == 0 {
+			return BitsFromUint64(data), Corrected
+		}
+		if pos := c.corr[syndrome]; pos >= 0 {
+			// Flipping a check position leaves the payload untouched.
+			if d := c.posData[pos]; d >= 0 {
+				data ^= 1 << uint(d)
+			}
+			return BitsFromUint64(data), Corrected
+		}
+		// Syndrome points outside the code: ≥3 flips detected.
+		return BitsFromUint64(data), Detected
+	default:
+		// Even number of flips with a nonzero syndrome → DUE.
+		return BitsFromUint64(data), Detected
+	}
+}
+
+// encodeBitwise is the pre-table reference implementation: place data
+// bits, then compute each check bit by a parity loop over the positions
+// it covers. Kept as the oracle for golden-vector and fuzz cross-checks
+// (and to build the tables).
+func (c *HammingCodec) encodeBitwise(data Bits) Bits {
 	var code Bits
 	for i, pos := range c.dataPos {
 		if data.Get(i) {
@@ -193,32 +335,28 @@ func (c *HammingCodec) Encode(data Bits) Bits {
 	return code
 }
 
-// Decode implements Codec.
-func (c *HammingCodec) Decode(code Bits) (Bits, Status) {
+// decodeBitwise is the pre-table reference implementation.
+func (c *HammingCodec) decodeBitwise(code Bits) (Bits, Status) {
 	syndrome := 0
 	for pos := 1; pos <= c.n; pos++ {
 		if code.Get(pos) {
 			syndrome ^= pos
 		}
 	}
-	overall := code.OnesCount()%2 != 0 // parity of ALL stored bits
+	overall := code.OnesCount()%2 != 0
 
 	switch {
 	case syndrome == 0 && !overall:
 		return c.extract(code), Clean
 	case overall:
-		// Odd number of flips → assume single and correct it. A
-		// syndrome of 0 means the overall parity bit itself flipped.
 		if syndrome == 0 {
 			return c.extract(code), Corrected
 		}
 		if syndrome <= c.n {
 			return c.extract(code.Flip(syndrome)), Corrected
 		}
-		// Syndrome points outside the code: ≥3 flips detected.
 		return c.extract(code), Detected
 	default:
-		// Even number of flips with a nonzero syndrome → DUE.
 		return c.extract(code), Detected
 	}
 }
@@ -273,7 +411,8 @@ func (c *RawCodec) Decode(code Bits) (Bits, Status) { return code, Clean }
 // the write traffic. Silent corruption requires the same flips in both
 // copies, which independent strikes essentially never produce.
 type DMRCodec struct {
-	k int
+	k    int
+	mask uint64 // low k bits
 }
 
 var _ Codec = (*DMRCodec)(nil)
@@ -284,7 +423,7 @@ func NewDMR(k int) (*DMRCodec, error) {
 	if k < 1 || k > 32 {
 		return nil, fmt.Errorf("%w: %d", ErrBadDataBits, k)
 	}
-	return &DMRCodec{k: k}, nil
+	return &DMRCodec{k: k, mask: lowMask(k)}, nil
 }
 
 // Name implements Codec.
@@ -298,6 +437,23 @@ func (c *DMRCodec) CodeBits() int { return 2 * c.k }
 
 // Encode implements Codec: copy A in bits [0,k), copy B in [k,2k).
 func (c *DMRCodec) Encode(data Bits) Bits {
+	d := data.w[0] & c.mask
+	return Bits{w: [2]uint64{d | d<<uint(c.k), 0}}
+}
+
+// Decode implements Codec: mismatching copies are a detected,
+// unrecoverable error; the first copy is returned as the best effort.
+func (c *DMRCodec) Decode(code Bits) (Bits, Status) {
+	a := code.w[0] & c.mask
+	b := (code.w[0] >> uint(c.k)) & c.mask
+	if a != b {
+		return BitsFromUint64(a), Detected
+	}
+	return BitsFromUint64(a), Clean
+}
+
+// encodeBitwise is the pre-table reference implementation.
+func (c *DMRCodec) encodeBitwise(data Bits) Bits {
 	var code Bits
 	for i := 0; i < c.k; i++ {
 		if data.Get(i) {
@@ -307,9 +463,8 @@ func (c *DMRCodec) Encode(data Bits) Bits {
 	return code
 }
 
-// Decode implements Codec: mismatching copies are a detected,
-// unrecoverable error; the first copy is returned as the best effort.
-func (c *DMRCodec) Decode(code Bits) (Bits, Status) {
+// decodeBitwise is the pre-table reference implementation.
+func (c *DMRCodec) decodeBitwise(code Bits) (Bits, Status) {
 	var a, b Bits
 	for i := 0; i < c.k; i++ {
 		if code.Get(i) {

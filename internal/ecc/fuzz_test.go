@@ -55,6 +55,32 @@ func flipDistinct(code Bits, codeBits, n int, seed uint64) (Bits, []int) {
 	return code, hit
 }
 
+// crossCheckBitwise compares the table-driven encode/decode results
+// against the retained bitwise reference implementations.
+func crossCheckBitwise(t *testing.T, c Codec, payload uint64, corrupt Bits, dec Bits, status Status) {
+	t.Helper()
+	var encRef func(Bits) Bits
+	var decRef func(Bits) (Bits, Status)
+	switch cc := c.(type) {
+	case *HammingCodec:
+		encRef, decRef = cc.encodeBitwise, cc.decodeBitwise
+	case *ParityCodec:
+		encRef, decRef = cc.encodeBitwise, cc.decodeBitwise
+	case *DMRCodec:
+		encRef, decRef = cc.encodeBitwise, cc.decodeBitwise
+	default:
+		return // raw codec is the identity; nothing to cross-check
+	}
+	if got, want := c.Encode(BitsFromUint64(payload)), encRef(BitsFromUint64(payload)); got != want {
+		t.Fatalf("%s: table encode %s != bitwise %s for %#x", c.Name(), got, want, payload)
+	}
+	refDec, refStatus := decRef(corrupt)
+	if dec != refDec || status != refStatus {
+		t.Fatalf("%s: table decode %#x/%v != bitwise %#x/%v for %s",
+			c.Name(), dec.Uint64(), status, refDec.Uint64(), refStatus, corrupt)
+	}
+}
+
 // FuzzCodecRoundTrip drives every codec with arbitrary payloads and
 // arbitrary distinct-bit corruption, checking the invariants the
 // recovery subsystem is built on: clean round-trips, the per-codec
@@ -87,6 +113,11 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			if status != Clean && status != Corrected && status != Detected {
 				t.Fatalf("%T: invalid status %v", c, status)
 			}
+
+			// The table-driven paths must agree bit for bit with the
+			// loop-based reference implementations on every input,
+			// corrupt or not.
+			crossCheckBitwise(t, c, payload, corrupt, dec, status)
 
 			switch c.(type) {
 			case *ParityCodec:

@@ -1,0 +1,263 @@
+package ecc
+
+import (
+	"testing"
+)
+
+// Golden codeword vectors frozen from the pre-table (loop-based) codec
+// implementations at PR 4. The table-driven Encode/Decode must stay
+// bit-identical to these forever: region storage, strike injection, and
+// every sweep/soak artifact depend on exact codeword layouts.
+
+var hamming32Golden = map[uint64]string{
+	0x0:        "00000000000000000000000000000000",
+	0x1:        "0000000000000000000000000000000f",
+	0x2:        "00000000000000000000000000000033",
+	0x80000000: "00000000000000000000004100000014",
+	0xffffffff: "00000000000000000000007effffffe8",
+	0xdeadbeef: "00000000000000000000006fab6edcef",
+	0xcafef00d: "000000000000000000000065bfbc01cd",
+	0x5555aaaa: "00000000000000000000002b556a55b1",
+	0xaaaa5555: "000000000000000000000055aa95aa59",
+	0x100:      "00000000000000000000000000002112",
+	0x12345678: "0000000000000000000000098d14cf93",
+	0x9e3779b9: "00000000000000000000004e8dde368e",
+	0x7fffffff: "00000000000000000000003ffffffffc",
+	0x1020304:  "00000000000000000000000040806151",
+	0xf0f0f0f0: "0000000000000000000000783c3c1e00",
+	0xffff:     "000000000000000000000000003ffffc",
+}
+
+var hamming64Golden = map[uint64]string{
+	0x0:                "00000000000000000000000000000000",
+	0x1:                "0000000000000000000000000000000f",
+	0xffffffffffffffff: "00000000000000ffffffffffffffffff",
+	0xdeadbeefcafef00d: "00000000000000de56df77e5bfbd01c9",
+	0x5555aaaa5555aaaa: "0000000000000055aad5552a556b55a7",
+	0x123456789abcdef0: "00000000000000121a2b3c4caf37df14",
+	0x8000000000000000: "00000000000000810000000000000017",
+	0x9e3779b97f4a7c15: "000000000000009f1bbcdcbed29e8359",
+}
+
+var parity32Golden = map[uint64]string{
+	0x0:        "00000000000000000000000000000000",
+	0x1:        "00000000000000000000000100000001",
+	0x2:        "00000000000000000000000100000002",
+	0x80000000: "00000000000000000000000180000000",
+	0xffffffff: "000000000000000000000000ffffffff",
+	0xdeadbeef: "000000000000000000000000deadbeef",
+	0xcafef00d: "000000000000000000000000cafef00d",
+	0x5555aaaa: "0000000000000000000000005555aaaa",
+	0xaaaa5555: "000000000000000000000000aaaa5555",
+	0x100:      "00000000000000000000000100000100",
+	0x12345678: "00000000000000000000000112345678",
+	0x9e3779b9: "0000000000000000000000009e3779b9",
+	0x7fffffff: "0000000000000000000000017fffffff",
+	0x1020304:  "00000000000000000000000101020304",
+	0xf0f0f0f0: "000000000000000000000000f0f0f0f0",
+	0xffff:     "0000000000000000000000000000ffff",
+}
+
+var dmr32Golden = map[uint64]string{
+	0x0:        "00000000000000000000000000000000",
+	0x1:        "00000000000000000000000100000001",
+	0x2:        "00000000000000000000000200000002",
+	0x80000000: "00000000000000008000000080000000",
+	0xffffffff: "0000000000000000ffffffffffffffff",
+	0xdeadbeef: "0000000000000000deadbeefdeadbeef",
+	0xcafef00d: "0000000000000000cafef00dcafef00d",
+	0x5555aaaa: "00000000000000005555aaaa5555aaaa",
+	0xaaaa5555: "0000000000000000aaaa5555aaaa5555",
+	0x100:      "00000000000000000000010000000100",
+	0x12345678: "00000000000000001234567812345678",
+	0x9e3779b9: "00000000000000009e3779b99e3779b9",
+	0x7fffffff: "00000000000000007fffffff7fffffff",
+	0x1020304:  "00000000000000000102030401020304",
+	0xf0f0f0f0: "0000000000000000f0f0f0f0f0f0f0f0",
+	0xffff:     "00000000000000000000ffff0000ffff",
+}
+
+// TestGoldenCodewords pins every codec's encoder to the frozen vectors
+// and checks the bitwise reference path agrees bit for bit.
+func TestGoldenCodewords(t *testing.T) {
+	type goldenCase struct {
+		name   string
+		codec  Codec
+		ref    func(Bits) Bits
+		golden map[uint64]string
+	}
+	h32, h64 := MustHamming(32), MustHamming(64)
+	p32, err := NewParity(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d32, err := NewDMR(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []goldenCase{
+		{"hamming32", h32, h32.encodeBitwise, hamming32Golden},
+		{"hamming64", h64, h64.encodeBitwise, hamming64Golden},
+		{"parity32", p32, p32.encodeBitwise, parity32Golden},
+		{"dmr32", d32, d32.encodeBitwise, dmr32Golden},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for payload, want := range tc.golden {
+				enc := tc.codec.Encode(BitsFromUint64(payload))
+				if got := enc.String(); got != want {
+					t.Errorf("Encode(%#x) = %s, want golden %s", payload, got, want)
+				}
+				if ref := tc.ref(BitsFromUint64(payload)); ref != enc {
+					t.Errorf("Encode(%#x) = %s, bitwise reference %s", payload, enc, ref)
+				}
+				dec, status := tc.codec.Decode(enc)
+				if status != Clean || dec.Uint64() != payload {
+					t.Errorf("Decode(Encode(%#x)) = %#x/%v, want payload/Clean",
+						payload, dec.Uint64(), status)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenSyndromes pins the full single- and sampled double-flip
+// decode behaviour of hamming(39,32) on one payload: every single flip
+// corrects back to the payload, and the frozen double-flip outcomes
+// (status and best-effort payload) are reproduced exactly.
+func TestGoldenSyndromes(t *testing.T) {
+	c := MustHamming(32)
+	const payload = 0xdeadbeef
+	enc := c.Encode(BitsFromUint64(payload))
+	for pos := 0; pos < c.CodeBits(); pos++ {
+		data, status := c.Decode(enc.Flip(pos))
+		if status != Corrected || data.Uint64() != payload {
+			t.Errorf("flip %d: got %#x/%v, want %#x/Corrected", pos, data.Uint64(), status, uint64(payload))
+		}
+	}
+	doubles := []struct {
+		a, b int
+		data uint64
+	}{
+		{0, 1, 0xdeadbeef},
+		{1, 2, 0xdeadbeef},
+		{3, 38, 0x5eadbeee},
+		{17, 21, 0xdead36ef},
+		{0, 38, 0x5eadbeef},
+		{5, 6, 0xdeadbee9},
+	}
+	for _, d := range doubles {
+		data, status := c.Decode(enc.Flip(d.a).Flip(d.b))
+		if status != Detected || data.Uint64() != d.data {
+			t.Errorf("flips %d,%d: got %#x/%v, want %#x/Detected",
+				d.a, d.b, data.Uint64(), status, d.data)
+		}
+	}
+}
+
+// TestTableMatchesBitwiseExhaustive cross-checks the table-driven decode
+// against the bitwise reference over every ≤2-flip corruption of a set
+// of payloads — the regime the controller's recovery semantics depend
+// on — plus a sample of heavier corruption.
+func TestTableMatchesBitwiseExhaustive(t *testing.T) {
+	payloads := []uint64{0, 1, 0xffffffff, 0xdeadbeef, 0x5555aaaa, 0x9e3779b9}
+	for _, k := range []int{8, 16, 32, 64} {
+		c := MustHamming(k)
+		for _, p := range payloads {
+			p &= c.dataMask
+			enc := c.Encode(BitsFromUint64(p))
+			if ref := c.encodeBitwise(BitsFromUint64(p)); ref != enc {
+				t.Fatalf("hamming(%d): encode mismatch for %#x", k, p)
+			}
+			for i := 0; i < c.CodeBits(); i++ {
+				for j := i; j < c.CodeBits(); j++ {
+					corrupt := enc.Flip(i)
+					if j != i {
+						corrupt = corrupt.Flip(j)
+					}
+					d1, s1 := c.Decode(corrupt)
+					d2, s2 := c.decodeBitwise(corrupt)
+					if d1 != d2 || s1 != s2 {
+						t.Fatalf("hamming(%d) %#x flips(%d,%d): table %#x/%v, bitwise %#x/%v",
+							k, p, i, j, d1.Uint64(), s1, d2.Uint64(), s2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCodecZeroAllocs pins encode and decode of every codec to zero
+// heap allocations: these run per simulated word access, and the hot
+// path must stay allocation-free.
+func TestCodecZeroAllocs(t *testing.T) {
+	codecs := []Codec{MustHamming(32), MustHamming(64)}
+	p, err := NewParity(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRaw(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDMR(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs = append(codecs, p, r, d)
+	for _, c := range codecs {
+		payload := uint64(0xdeadbeef) & lowMask(c.DataBits())
+		var enc Bits
+		if n := testing.AllocsPerRun(100, func() {
+			enc = c.Encode(BitsFromUint64(payload))
+		}); n != 0 {
+			t.Errorf("%s: Encode allocates %.1f/op, want 0", c.Name(), n)
+		}
+		corrupt := enc.Flip(1)
+		if n := testing.AllocsPerRun(100, func() {
+			c.Decode(enc)
+			c.Decode(corrupt)
+		}); n != 0 {
+			t.Errorf("%s: Decode allocates %.1f/op, want 0", c.Name(), n)
+		}
+	}
+}
+
+// BenchmarkCodecRoundTrip times one encode + decode per codec — the
+// per-word cost every simulated SPM access pays.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	codecs := []Codec{MustHamming(32), MustHamming(64)}
+	p, _ := NewParity(32)
+	d, _ := NewDMR(32)
+	codecs = append(codecs, Codec(p), Codec(d))
+	for _, c := range codecs {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			payload := uint64(0xdeadbeef) & lowMask(c.DataBits())
+			var sink Status
+			for i := 0; i < b.N; i++ {
+				enc := c.Encode(BitsFromUint64(payload + uint64(i&0xff)))
+				_, sink = c.Decode(enc)
+			}
+			if sink != Clean {
+				b.Fatal("round trip not clean")
+			}
+		})
+	}
+}
+
+// BenchmarkCodecRoundTripBitwise times the reference path for the
+// before/after comparison while it exists.
+func BenchmarkCodecRoundTripBitwise(b *testing.B) {
+	c := MustHamming(32)
+	b.ReportAllocs()
+	var sink Status
+	for i := 0; i < b.N; i++ {
+		enc := c.encodeBitwise(BitsFromUint64(0xdeadbeef + uint64(i&0xff)))
+		_, sink = c.decodeBitwise(enc)
+	}
+	if sink != Clean {
+		b.Fatal("round trip not clean")
+	}
+}

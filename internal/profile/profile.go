@@ -158,11 +158,7 @@ func Run(prog *program.Program, s trace.Stream) (*Profile, error) {
 		prog:   prog,
 		Blocks: make([]BlockProfile, prog.NumBlocks()),
 	}
-	for i := range p.Blocks {
-		b, err := prog.Block(program.BlockID(i))
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range prog.Blocks() {
 		p.Blocks[i].Block = b
 	}
 
@@ -174,7 +170,7 @@ func Run(prog *program.Program, s trace.Stream) (*Profile, error) {
 	}
 	var curCode, curData active
 	stackDepth := 0
-	var frames []int
+	frames := make([]int, 0, 16)
 
 	closeActivation := func(a *active) {
 		if !a.live {

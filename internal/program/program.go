@@ -100,7 +100,12 @@ type Program struct {
 	byName   map[string]BlockID
 	nextCode uint32
 	nextData uint32
-	sorted   []BlockID // block ids ordered by Addr, rebuilt lazily
+	// Flat address index for FindAddr, rebuilt lazily: sortedAddrs
+	// holds block base addresses in ascending order and sortedIDs the
+	// matching block IDs, so the lookup binary-searches one dense
+	// uint32 slice with no per-probe indirection.
+	sortedAddrs []uint32
+	sortedIDs   []BlockID
 }
 
 // New returns an empty program.
@@ -142,7 +147,7 @@ func (p *Program) AddBlock(name string, kind BlockKind, size int) (BlockID, erro
 	}
 	p.blocks = append(p.blocks, b)
 	p.byName[name] = id
-	p.sorted = nil
+	p.sortedAddrs, p.sortedIDs = nil, nil
 	return id, nil
 }
 
@@ -195,20 +200,31 @@ func (p *Program) AddrOf(id BlockID, offset int) (uint32, error) {
 
 // FindAddr resolves an image address to the block containing it.
 func (p *Program) FindAddr(addr uint32) (BlockID, bool) {
-	if p.sorted == nil {
-		p.sorted = make([]BlockID, len(p.blocks))
+	if p.sortedAddrs == nil {
+		ids := make([]BlockID, len(p.blocks))
 		for i := range p.blocks {
-			p.sorted[i] = BlockID(i)
+			ids[i] = BlockID(i)
 		}
-		sort.Slice(p.sorted, func(i, j int) bool {
-			return p.blocks[p.sorted[i]].Addr < p.blocks[p.sorted[j]].Addr
+		// Addresses are unique by construction; the ID tie-break keeps
+		// the order fully determined regardless.
+		sort.Slice(ids, func(i, j int) bool {
+			ai, aj := p.blocks[ids[i]].Addr, p.blocks[ids[j]].Addr
+			if ai != aj {
+				return ai < aj
+			}
+			return ids[i] < ids[j]
 		})
+		addrs := make([]uint32, len(ids))
+		for i, id := range ids {
+			addrs[i] = p.blocks[id].Addr
+		}
+		p.sortedAddrs, p.sortedIDs = addrs, ids
 	}
-	// Binary search for the last block whose base is <= addr.
-	lo, hi := 0, len(p.sorted)
+	// Binary search the flat address slice for the last base <= addr.
+	lo, hi := 0, len(p.sortedAddrs)
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if p.blocks[p.sorted[mid]].Addr <= addr {
+		mid := int(uint(lo+hi) >> 1)
+		if p.sortedAddrs[mid] <= addr {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -217,9 +233,9 @@ func (p *Program) FindAddr(addr uint32) (BlockID, bool) {
 	if lo == 0 {
 		return 0, false
 	}
-	b := p.blocks[p.sorted[lo-1]]
-	if b.Contains(addr) {
-		return b.ID, true
+	id := p.sortedIDs[lo-1]
+	if p.blocks[id].Contains(addr) {
+		return id, true
 	}
 	return 0, false
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"ftspm/internal/cache"
 	"ftspm/internal/dram"
@@ -174,6 +175,7 @@ func (r Result) RecoveryTotals() spm.RecoveryStats {
 type Machine struct {
 	cfg    Config
 	prog   *program.Program
+	blocks []program.Block // dense BlockID → block, avoids per-access lookups
 	iCache *cache.Cache
 	dCache *cache.Cache
 	mem    *dram.Memory
@@ -192,7 +194,7 @@ func New(prog *program.Program, cfg Config) (*Machine, error) {
 	if prog == nil {
 		return nil, ErrNilProgram
 	}
-	m := &Machine{cfg: cfg, prog: prog}
+	m := &Machine{cfg: cfg, prog: prog, blocks: prog.Blocks()}
 	var err error
 	if m.iCache, err = cache.New(cfg.ICache); err != nil {
 		return nil, fmt.Errorf("sim: icache: %w", err)
@@ -210,17 +212,24 @@ func New(prog *program.Program, cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("sim: dspm: %w", err)
 	}
 
+	// Split the placement in ascending BlockID order so the block a
+	// validation error names is deterministic, not map-iteration luck.
+	ids := make([]program.BlockID, 0, len(cfg.Placement))
+	for id := range cfg.Placement {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	iPlace := make(spm.Placement)
 	dPlace := make(spm.Placement)
-	for id, kind := range cfg.Placement {
+	for _, id := range ids {
 		b, err := prog.Block(id)
 		if err != nil {
 			return nil, fmt.Errorf("sim: placement: %w", err)
 		}
 		if b.Kind == program.CodeBlock {
-			iPlace[id] = kind
+			iPlace[id] = cfg.Placement[id]
 		} else {
-			dPlace[id] = kind
+			dPlace[id] = cfg.Placement[id]
 		}
 	}
 	if m.iCtl, err = spm.NewController(m.iSPM, prog, iPlace, m.mem); err != nil {
@@ -405,10 +414,7 @@ func (m *Machine) access(a trace.Access) (memtech.Cycles, error) {
 	if !ok {
 		return 0, fmt.Errorf("sim: access at %#x outside all blocks", a.Addr)
 	}
-	b, err := m.prog.Block(id)
-	if err != nil {
-		return 0, err
-	}
+	b := &m.blocks[id]
 	ctl, l1 := m.dCtl, m.dCache
 	if a.Space == trace.Code {
 		ctl, l1 = m.iCtl, m.iCache

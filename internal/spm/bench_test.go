@@ -1,0 +1,85 @@
+package spm
+
+import (
+	"testing"
+
+	"ftspm/internal/program"
+)
+
+// steadyController returns a fixture controller with the Hot block
+// already resident, so subsequent Access calls exercise the steady-state
+// hot path (no DMA, no eviction).
+func steadyController(tb testing.TB, recovery bool) (*Controller, program.BlockID) {
+	tb.Helper()
+	ctl, _, ids := ctlFixture(tb)
+	if recovery {
+		if err := ctl.EnableRecovery(DefaultRecovery()); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	hot := ids["Hot"]
+	if _, err := ctl.Access(hot, 0, 4, true); err != nil {
+		tb.Fatal(err)
+	}
+	return ctl, hot
+}
+
+// TestControllerAccessZeroAllocs pins the steady-state access path —
+// read and write, with and without the recovery engine — to zero heap
+// allocations per call. This is the regression guard for the dense
+// block-indexed controller state and the reused scratch buffers
+// (DESIGN.md §11); any reintroduced map or per-call make shows up here.
+func TestControllerAccessZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		recovery bool
+		write    bool
+	}{
+		{"read", false, false},
+		{"write", false, true},
+		{"read-recovery", true, false},
+		{"write-recovery", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctl, hot := steadyController(t, tc.recovery)
+			off := 0
+			if n := testing.AllocsPerRun(200, func() {
+				if _, err := ctl.Access(hot, off, 16, tc.write); err != nil {
+					t.Fatal(err)
+				}
+				off = (off + 16) % 512
+			}); n != 0 {
+				t.Errorf("steady-state Access allocates %.1f/op, want 0", n)
+			}
+		})
+	}
+}
+
+// BenchmarkControllerAccess times one steady-state controller access —
+// the operation every simulated memory reference pays — across the
+// read/write × recovery on/off matrix.
+func BenchmarkControllerAccess(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		recovery bool
+		write    bool
+	}{
+		{"read", false, false},
+		{"write", false, true},
+		{"read-recovery", true, false},
+		{"write-recovery", true, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ctl, hot := steadyController(b, tc.recovery)
+			b.ReportAllocs()
+			b.ResetTimer()
+			off := 0
+			for i := 0; i < b.N; i++ {
+				if _, err := ctl.Access(hot, off, 16, tc.write); err != nil {
+					b.Fatal(err)
+				}
+				off = (off + 16) % 512
+			}
+		})
+	}
+}

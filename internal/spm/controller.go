@@ -3,6 +3,7 @@ package spm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"ftspm/internal/dram"
 	"ftspm/internal/memtech"
@@ -33,6 +34,22 @@ func (p Placement) CountByKind() map[RegionKind]int {
 	return out
 }
 
+// sortedIDs returns the placement's block IDs in ascending order, so
+// validation walks (and therefore errors name) blocks deterministically
+// instead of in map order.
+func (p Placement) sortedIDs() []program.BlockID {
+	ids := make([]program.BlockID, 0, len(p))
+	for id := range p {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// numRegionKinds bounds the dense per-kind arrays (RegionKind values are
+// small consecutive constants starting at 1).
+const numRegionKinds = int(RegionDMR) + 1
+
 // KindCounts tallies program accesses served by one region kind.
 type KindCounts struct {
 	Reads, Writes uint64
@@ -54,24 +71,14 @@ type ControllerStats struct {
 	WritebackWords uint64
 	// TransferCycles accumulates DMA stall time.
 	TransferCycles memtech.Cycles
-	// PerKind tallies program accesses by serving region kind.
+	// PerKind tallies program accesses by serving region kind. The
+	// controller accumulates these in a dense per-kind array; Stats()
+	// materializes this map view.
 	PerKind map[RegionKind]*KindCounts
 	// Recovery counts the runtime error-recovery subsystem's activity
 	// (all zero unless EnableRecovery was called, except the write-
 	// verify counters, which a wear model feeds on its own).
 	Recovery RecoveryStats
-}
-
-func (s *ControllerStats) kind(k RegionKind) *KindCounts {
-	if s.PerKind == nil {
-		s.PerKind = make(map[RegionKind]*KindCounts)
-	}
-	c, ok := s.PerKind[k]
-	if !ok {
-		c = &KindCounts{}
-		s.PerKind[k] = c
-	}
-	return c
 }
 
 // Cost is the charged outcome of one controller access.
@@ -97,6 +104,7 @@ var (
 type interval struct{ start, n int }
 
 type residency struct {
+	live     bool
 	region   int // region index within the SPM
 	baseWord int
 	words    int
@@ -111,62 +119,86 @@ type residency struct {
 // at compile time; this controller triggers the same transfers on demand
 // with least-recently-used eviction, which reproduces the transfer
 // traffic of the static schedule for the profiled access sequences.
+//
+// All per-block state lives in dense slices indexed by program.BlockID
+// (block IDs are compact indices into one program image), and the access
+// path reuses controller-owned scratch buffers, so the steady-state hot
+// path performs no map operations and no allocations (DESIGN.md §11).
 type Controller struct {
-	spm      *SPM
-	prog     *program.Program
-	place    Placement
-	mem      *dram.Memory
-	resident map[program.BlockID]*residency
+	spm     *SPM
+	mem     *dram.Memory
+	regions []*Region       // dense region index → region (spm order)
+	blocks  []program.Block // dense BlockID → block descriptor snapshot
+
+	place    []RegionKind // dense BlockID → target kind, 0 = unmapped
+	resident []residency  // dense BlockID → residency, live=false = absent
 	free     [][]interval
-	kindIdx  map[RegionKind]int
+	kindIdx  [numRegionKinds]int // kind → region index, -1 = absent
 	tick     uint64
 	stats    ControllerStats
+	perKind  [numRegionKinds]KindCounts
+
+	// writeBuf backs the value vectors of program writes and block
+	// DMA-ins; oneWord backs single-word recovery rewrites. Both are
+	// reused across calls — never retained past the region write that
+	// consumes them.
+	writeBuf []uint32
+	oneWord  [1]uint32
+
 	// Runtime error recovery (EnableRecovery): detection outcomes on
 	// the access path trigger re-fetch/rollback, a background scrubber
 	// walks the protected regions, and recurring write-verify faults
 	// drive wear-aware graceful degradation.
 	recovery    RecoveryConfig
 	recoveryOn  bool
-	faultCounts map[program.BlockID]int
+	faultCounts []int // dense BlockID → permanent-fault evidence
 	sinceScrub  uint64
 }
 
 // NewController validates the placement against the SPM geometry and
-// returns a controller with an empty SPM.
+// returns a controller with an empty SPM. Validation walks the placement
+// in ascending BlockID order, so which offending block an error names is
+// deterministic.
 func NewController(s *SPM, prog *program.Program, place Placement, mem *dram.Memory) (*Controller, error) {
+	n := prog.NumBlocks()
 	c := &Controller{
 		spm:         s,
-		prog:        prog,
-		place:       place.Clone(),
 		mem:         mem,
-		resident:    make(map[program.BlockID]*residency),
+		regions:     s.Regions(),
+		blocks:      prog.Blocks(),
+		place:       make([]RegionKind, n),
+		resident:    make([]residency, n),
 		free:        make([][]interval, s.NumRegions()),
-		kindIdx:     make(map[RegionKind]int),
-		faultCounts: make(map[program.BlockID]int),
+		faultCounts: make([]int, n),
 	}
-	for i, r := range s.Regions() {
+	for i := range c.kindIdx {
+		c.kindIdx[i] = -1
+	}
+	for i, r := range c.regions {
 		c.free[i] = []interval{{start: 0, n: r.Words()}}
-		if _, dup := c.kindIdx[r.Kind()]; !dup {
+		if c.kindIdx[r.Kind()] < 0 {
 			c.kindIdx[r.Kind()] = i
 		}
 	}
-	for id, kind := range place {
+	for _, id := range place.sortedIDs() {
+		kind := place[id]
 		b, err := prog.Block(id)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadPlacement, err)
 		}
-		idx, ok := c.kindIdx[kind]
-		if !ok {
+		idx := -1
+		if int(kind) > 0 && int(kind) < numRegionKinds {
+			idx = c.kindIdx[kind]
+		}
+		if idx < 0 {
 			return nil, fmt.Errorf("%w: block %s -> %v", ErrNoSuchRegion, b.Name, kind)
 		}
-		r, err := s.Region(idx)
-		if err != nil {
-			return nil, err
-		}
+		r := c.regions[idx]
 		if memtech.WordsIn(b.Size) > r.Words() {
 			return nil, fmt.Errorf("%w: %s (%d B) -> %v (%d B)",
 				ErrBlockTooBig, b.Name, b.Size, kind, r.SizeBytes())
 		}
+		c.place[id] = kind
 	}
 	return c, nil
 }
@@ -187,31 +219,58 @@ func (c *Controller) EnableRecovery(rc RecoveryConfig) error {
 	return nil
 }
 
-// Stats returns a copy of the controller counters (the PerKind map is
-// copied too).
+// Stats returns a copy of the controller counters; the PerKind map view
+// is materialized from the dense per-kind tallies (kinds that served at
+// least one access appear, matching the lazily-created map of earlier
+// versions).
 func (c *Controller) Stats() ControllerStats {
 	out := c.stats
-	out.PerKind = make(map[RegionKind]*KindCounts, len(c.stats.PerKind))
-	for k, v := range c.stats.PerKind {
-		cp := *v
-		out.PerKind[k] = &cp
+	out.PerKind = make(map[RegionKind]*KindCounts)
+	for k := range c.perKind {
+		if c.perKind[k].Reads+c.perKind[k].Writes > 0 {
+			cp := c.perKind[k]
+			out.PerKind[RegionKind(k)] = &cp
+		}
 	}
 	return out
 }
 
 // Placement returns a copy of the active placement.
-func (c *Controller) Placement() Placement { return c.place.Clone() }
+func (c *Controller) Placement() Placement {
+	out := make(Placement)
+	for id, kind := range c.place {
+		if kind != 0 {
+			out[program.BlockID(id)] = kind
+		}
+	}
+	return out
+}
+
+// mappedKind returns the block's placement target, or 0 when the block
+// is outside the placement (including IDs the controller never saw).
+func (c *Controller) mappedKind(id program.BlockID) RegionKind {
+	if id < 0 || int(id) >= len(c.place) {
+		return 0
+	}
+	return c.place[id]
+}
 
 // IsMapped reports whether the block participates in the placement.
 func (c *Controller) IsMapped(id program.BlockID) bool {
-	_, ok := c.place[id]
-	return ok
+	return c.mappedKind(id) != 0
 }
 
 // IsResident reports whether the block currently occupies SPM space.
 func (c *Controller) IsResident(id program.BlockID) bool {
-	_, ok := c.resident[id]
-	return ok
+	return id >= 0 && int(id) < len(c.resident) && c.resident[id].live
+}
+
+// values returns the controller's write scratch buffer sized to n words.
+func (c *Controller) values(n int) []uint32 {
+	if cap(c.writeBuf) < n {
+		c.writeBuf = make([]uint32, n)
+	}
+	return c.writeBuf[:n]
 }
 
 // Access serves one program access to a mapped block: it transfers the
@@ -219,8 +278,8 @@ func (c *Controller) IsResident(id program.BlockID) bool {
 // size select the touched words within the block. For unmapped blocks it
 // returns ErrNotMapped; the simulator then uses the cache path.
 func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (Cost, error) {
-	kind, ok := c.place[id]
-	if !ok {
+	kind := c.mappedKind(id)
+	if kind == 0 {
 		return Cost{}, ErrNotMapped
 	}
 	c.tick++
@@ -243,8 +302,8 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 			// size: demote the block to cache service. The caller sees
 			// ErrNotMapped and routes this and all later accesses
 			// through the cache hierarchy.
-			delete(c.place, id)
-			delete(c.faultCounts, id)
+			c.place[id] = 0
+			c.faultCounts[id] = 0
 			c.stats.Recovery.Demotions++
 			if c.stats.Recovery.FirstDegradedTick == 0 {
 				c.stats.Recovery.FirstDegradedTick = c.tick
@@ -255,10 +314,7 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 	}
 	res.lastUse = c.tick
 
-	b, err := c.prog.Block(id)
-	if err != nil {
-		return Cost{}, err
-	}
+	b := &c.blocks[id]
 	if offset < 0 {
 		offset = 0
 	}
@@ -271,10 +327,7 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 			return Cost{}, fmt.Errorf("%w: offset %d outside %s", ErrOutOfRange, offset, b.Name)
 		}
 	}
-	r, err := c.spm.Region(res.region)
-	if err != nil {
-		return Cost{}, err
-	}
+	r := c.regions[res.region]
 	wordIdx := res.baseWord + offset/memtech.WordBytes
 	words := memtech.WordsIn(size)
 	if wordIdx+words > res.baseWord+res.words {
@@ -283,7 +336,7 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 
 	var accessCycles memtech.Cycles
 	if write {
-		values := make([]uint32, words)
+		values := c.values(words)
 		base := b.Addr + uint32(offset)
 		for i := range values {
 			values[i] = dram.Value(base/memtech.WordBytes + uint32(i))
@@ -291,14 +344,14 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 		var oc WriteOutcome
 		accessCycles, oc, err = r.WriteChecked(wordIdx, values)
 		res.dirty = true
-		c.stats.kind(kind).Writes++
+		c.perKind[kind].Writes++
 		if err == nil {
 			c.noteWriteFaults(id, oc)
 		}
 	} else {
 		var oc ReadOutcome
 		_, accessCycles, oc, err = r.ReadChecked(wordIdx, words)
-		c.stats.kind(kind).Reads++
+		c.perKind[kind].Reads++
 		if err == nil {
 			c.stats.Recovery.CorrectedOnAccess += uint64(oc.Corrected)
 			for _, w := range oc.Detected {
@@ -346,7 +399,7 @@ func (c *Controller) noteWriteFaults(id program.BlockID, oc WriteOutcome) {
 // same LRU fallback the on-demand path uses, but a well-formed schedule
 // issues its Unmap commands first, so the fallback stays idle.
 func (c *Controller) MapIn(id program.BlockID) (memtech.Cycles, error) {
-	if _, ok := c.place[id]; !ok {
+	if c.mappedKind(id) == 0 {
 		return 0, ErrNotMapped
 	}
 	c.tick++
@@ -362,14 +415,11 @@ func (c *Controller) MapIn(id program.BlockID) (memtech.Cycles, error) {
 // now, writing dirty contents back off-chip. Non-resident blocks are a
 // no-op.
 func (c *Controller) Unmap(id program.BlockID) (memtech.Cycles, error) {
-	res, ok := c.resident[id]
-	if !ok {
+	if !c.IsResident(id) {
 		return 0, nil
 	}
-	r, err := c.spm.Region(res.region)
-	if err != nil {
-		return 0, err
-	}
+	res := &c.resident[id]
+	r := c.regions[res.region]
 	var cycles memtech.Cycles
 	if res.dirty {
 		_, readCycles, err := r.Read(res.baseWord, res.words)
@@ -381,7 +431,7 @@ func (c *Controller) Unmap(id program.BlockID) (memtech.Cycles, error) {
 		c.stats.WritebackWords += uint64(res.words)
 	}
 	c.releaseInterval(res.region, interval{start: res.baseWord, n: res.words}, r)
-	delete(c.resident, id)
+	res.live = false
 	c.stats.PlannedUnmaps++
 	c.stats.TransferCycles += cycles
 	return cycles, nil
@@ -392,15 +442,12 @@ func (c *Controller) Unmap(id program.BlockID) (memtech.Cycles, error) {
 // returned cycles charge the DMA stall (off-chip burst overlapped with
 // the region-side burst: the slower of the two dominates).
 func (c *Controller) ensureResident(id program.BlockID) (*residency, memtech.Cycles, error) {
-	if res, ok := c.resident[id]; ok {
+	res := &c.resident[id]
+	if res.live {
 		return res, 0, nil
 	}
-	kind := c.place[id]
-	regionIdx := c.kindIdx[kind]
-	b, err := c.prog.Block(id)
-	if err != nil {
-		return nil, 0, err
-	}
+	regionIdx := c.kindIdx[c.place[id]]
+	b := &c.blocks[id]
 	words := memtech.WordsIn(b.Size)
 
 	var cycles memtech.Cycles
@@ -412,12 +459,9 @@ func (c *Controller) ensureResident(id program.BlockID) (*residency, memtech.Cyc
 
 	// DMA the block in: off-chip read burst overlapped with the
 	// region-side write burst.
-	r, err := c.spm.Region(regionIdx)
-	if err != nil {
-		return nil, 0, err
-	}
+	r := c.regions[regionIdx]
 	dramCycles, _ := c.mem.Burst(words, false)
-	values := make([]uint32, words)
+	values := c.values(words)
 	for i := range values {
 		values[i] = dram.Value(b.Addr/memtech.WordBytes + uint32(i))
 	}
@@ -427,8 +471,7 @@ func (c *Controller) ensureResident(id program.BlockID) (*residency, memtech.Cyc
 	}
 	cycles += maxCycles(dramCycles, regionCycles)
 
-	res := &residency{region: regionIdx, baseWord: base, words: words, lastUse: c.tick}
-	c.resident[id] = res
+	*res = residency{live: true, region: regionIdx, baseWord: base, words: words, lastUse: c.tick}
 	c.stats.MapIns++
 	c.stats.TransferCycles += cycles
 	// Write-verify failures during the DMA-in are fault evidence too:
@@ -475,25 +518,25 @@ func (c *Controller) takeInterval(regionIdx, words int) (int, bool) {
 
 // evictLRU displaces the least-recently-used resident of the region,
 // writing dirty contents back off-chip. It returns false when the region
-// holds no residents.
+// holds no residents. Residencies are scanned in BlockID order; lastUse
+// ticks are unique (one block is touched per tick), so the victim choice
+// is deterministic.
 func (c *Controller) evictLRU(regionIdx int) (bool, memtech.Cycles, error) {
 	var victim program.BlockID
 	var vres *residency
-	for id, res := range c.resident {
-		if res.region != regionIdx {
+	for i := range c.resident {
+		res := &c.resident[i]
+		if !res.live || res.region != regionIdx {
 			continue
 		}
 		if vres == nil || res.lastUse < vres.lastUse {
-			victim, vres = id, res
+			victim, vres = program.BlockID(i), res
 		}
 	}
 	if vres == nil {
 		return false, 0, nil
 	}
-	r, err := c.spm.Region(regionIdx)
-	if err != nil {
-		return false, 0, err
-	}
+	r := c.regions[regionIdx]
 	var cycles memtech.Cycles
 	if vres.dirty {
 		_, readCycles, err := r.Read(vres.baseWord, vres.words)
@@ -505,7 +548,7 @@ func (c *Controller) evictLRU(regionIdx int) (bool, memtech.Cycles, error) {
 		c.stats.WritebackWords += uint64(vres.words)
 	}
 	c.releaseInterval(regionIdx, interval{start: vres.baseWord, n: vres.words}, r)
-	delete(c.resident, victim)
+	c.resident[victim].live = false
 	c.stats.Evictions++
 	c.stats.TransferCycles += cycles
 	return true, cycles, nil
@@ -550,11 +593,11 @@ func (c *Controller) recoverDUE(r *Region, res *residency, blockAddr uint32, w i
 // configured bound. It reports whether the word decodes cleanly
 // afterwards.
 func (c *Controller) refetchWord(r *Region, res *residency, blockAddr uint32, w int) (memtech.Cycles, bool, error) {
-	val := dram.Value(blockAddr/memtech.WordBytes + uint32(w-res.baseWord))
+	c.oneWord[0] = dram.Value(blockAddr/memtech.WordBytes + uint32(w-res.baseWord))
 	var cycles memtech.Cycles
 	for attempt := 0; ; attempt++ {
 		dramCycles, _ := c.mem.Burst(1, false)
-		writeCycles, _, err := r.WriteChecked(w, []uint32{val})
+		writeCycles, _, err := r.WriteChecked(w, c.oneWord[:])
 		if err != nil {
 			return 0, false, err
 		}
@@ -583,11 +626,7 @@ func (c *Controller) runScrub() (memtech.Cycles, error) {
 	st := &c.stats.Recovery
 	st.ScrubRuns++
 	var cycles memtech.Cycles
-	for idx := 0; idx < c.spm.NumRegions(); idx++ {
-		r, err := c.spm.Region(idx)
-		if err != nil {
-			return 0, err
-		}
+	for idx, r := range c.regions {
 		if r.Kind().Protection() == memtech.Unprotected {
 			continue // nothing to check: no code to scrub against
 		}
@@ -598,11 +637,7 @@ func (c *Controller) runScrub() (memtech.Cycles, error) {
 			id, res, found := c.residentAt(idx, w)
 			switch {
 			case found && !res.dirty:
-				b, err := c.prog.Block(id)
-				if err != nil {
-					return 0, err
-				}
-				rcyc, ok, err := c.refetchWord(r, res, b.Addr, w)
+				rcyc, ok, err := c.refetchWord(r, res, c.blocks[id].Addr, w)
 				if err != nil {
 					return 0, err
 				}
@@ -638,9 +673,10 @@ func (c *Controller) runScrub() (memtech.Cycles, error) {
 // residentAt returns the block whose residency covers the given word of
 // the region, if any.
 func (c *Controller) residentAt(regionIdx, word int) (program.BlockID, *residency, bool) {
-	for id, res := range c.resident {
-		if res.region == regionIdx && word >= res.baseWord && word < res.baseWord+res.words {
-			return id, res, true
+	for i := range c.resident {
+		res := &c.resident[i]
+		if res.live && res.region == regionIdx && word >= res.baseWord && word < res.baseWord+res.words {
+			return program.BlockID(i), res, true
 		}
 	}
 	return 0, nil, false
@@ -655,33 +691,27 @@ func (c *Controller) residentAt(regionIdx, word int) (program.BlockID, *residenc
 // data, not the corrupt cells) and charges the source read, the
 // destination write, and any eviction the allocation needs.
 func (c *Controller) degrade(id program.BlockID) (memtech.Cycles, error) {
-	res, ok := c.resident[id]
-	if !ok {
-		delete(c.faultCounts, id)
+	if !c.IsResident(id) {
+		c.faultCounts[id] = 0
 		return 0, nil
 	}
+	res := &c.resident[id]
 	oldIdx := res.region
-	oldR, err := c.spm.Region(oldIdx)
-	if err != nil {
-		return 0, err
-	}
+	oldR := c.regions[oldIdx]
 	values, drainCycles, err := oldR.DrainWords(res.baseWord, res.words)
 	if err != nil {
 		return 0, err
 	}
 
 	defer func() {
-		delete(c.faultCounts, id)
+		c.faultCounts[id] = 0
 		if c.stats.Recovery.FirstDegradedTick == 0 {
 			c.stats.Recovery.FirstDegradedTick = c.tick
 		}
 	}()
 
-	for destIdx := oldIdx + 1; destIdx < c.spm.NumRegions(); destIdx++ {
-		destR, err := c.spm.Region(destIdx)
-		if err != nil {
-			return 0, err
-		}
+	for destIdx := oldIdx + 1; destIdx < len(c.regions); destIdx++ {
+		destR := c.regions[destIdx]
 		if res.words > destR.Words() {
 			continue
 		}
@@ -721,8 +751,8 @@ func (c *Controller) degrade(id program.BlockID) (memtech.Cycles, error) {
 		c.stats.WritebackWords += uint64(res.words)
 	}
 	c.releaseInterval(oldIdx, interval{start: res.baseWord, n: res.words}, oldR)
-	delete(c.resident, id)
-	delete(c.place, id)
+	res.live = false
+	c.place[id] = 0
 	c.stats.Recovery.Demotions++
 	return wbCycles, nil
 }

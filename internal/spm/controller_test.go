@@ -10,7 +10,7 @@ import (
 
 // ctlFixture builds a small hybrid SPM, a three-block program, and a
 // controller mapping Hot->STT, Warm->ECC, Stack->parity.
-func ctlFixture(t *testing.T) (*Controller, *program.Program, map[string]program.BlockID) {
+func ctlFixture(t testing.TB) (*Controller, *program.Program, map[string]program.BlockID) {
 	t.Helper()
 	s, err := New(0,
 		RegionConfig{Kind: RegionSTT, SizeBytes: 2 * 1024},
@@ -250,7 +250,7 @@ func TestControllerThrashingStaysConsistent(t *testing.T) {
 	}
 	resident := 0
 	for _, res := range ctl.resident {
-		if res.region == 0 {
+		if res.live && res.region == 0 {
 			resident += res.words
 		}
 	}

@@ -34,7 +34,7 @@ func checkSpaceInvariant(t *testing.T, ctl *Controller, regionIdx int) {
 	}
 	resident := 0
 	for _, res := range ctl.resident {
-		if res.region == regionIdx {
+		if res.live && res.region == regionIdx {
 			resident += res.words
 		}
 	}

@@ -173,6 +173,10 @@ type Region struct {
 	// words are skipped by scrub and audit: they hold dead cells, not
 	// live data.
 	retired []bool
+	// readBuf is the reusable payload buffer handed out by ReadChecked:
+	// it grows to the largest burst ever read and is then recycled, so
+	// the steady-state read path allocates nothing.
+	readBuf []uint32
 }
 
 // wearModel is the per-region instantiation of a WearConfig with its
@@ -263,20 +267,27 @@ type ReadOutcome struct {
 
 // Read decodes n words starting at wordIdx, charging latency and energy,
 // and returns the payloads. Observed error events (corrections,
-// detections) are counted in the region stats.
+// detections) are counted in the region stats. The returned slice is a
+// reusable scratch buffer owned by the region: it is valid until the
+// next Read/ReadChecked on the same region, so callers that need the
+// data past that point must copy it.
 func (r *Region) Read(wordIdx, n int) ([]uint32, memtech.Cycles, error) {
 	out, cycles, _, err := r.ReadChecked(wordIdx, n)
 	return out, cycles, err
 }
 
 // ReadChecked is Read surfacing the per-word detection outcomes, so the
-// controller can trigger recovery instead of silently carrying on.
+// controller can trigger recovery instead of silently carrying on. The
+// returned payload slice follows the Read scratch-buffer contract.
 func (r *Region) ReadChecked(wordIdx, n int) ([]uint32, memtech.Cycles, ReadOutcome, error) {
 	var oc ReadOutcome
 	if wordIdx < 0 || n < 0 || wordIdx+n > len(r.words) {
 		return nil, 0, oc, fmt.Errorf("%w: read [%d,+%d) of %d", ErrOutOfRange, wordIdx, n, len(r.words))
 	}
-	out := make([]uint32, n)
+	if cap(r.readBuf) < n {
+		r.readBuf = make([]uint32, n)
+	}
+	out := r.readBuf[:n]
 	for i := 0; i < n; i++ {
 		w := wordIdx + i
 		data, status := r.codec.Decode(r.words[w])

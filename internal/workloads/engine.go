@@ -120,6 +120,25 @@ func (s spec) generate(p *program.Program, scale float64) []trace.Event {
 	}
 }
 
+// rpattern, rcodeUse, and rsegment are spec shapes with the block names
+// resolved to IDs once at stream construction, so the per-event hot
+// path indexes dense slices instead of hashing names.
+type rpattern struct {
+	pattern
+	id program.BlockID
+}
+
+type rcodeUse struct {
+	codeUse
+	id program.BlockID
+}
+
+type rsegment struct {
+	seg      segment // scalar knobs: callEvery, think, fetchEvery, fetchWords
+	patterns []rpattern
+	code     []rcodeUse
+}
+
 // stream returns a pull-based generator over the spec's trace at the
 // given scale. Events are produced one activation at a time into a
 // small reused buffer, so consumers never hold the whole trace; the
@@ -134,19 +153,40 @@ func (s spec) stream(p *program.Program, scale float64) *genStream {
 		total = 1
 	}
 	counts := make([]int, len(s.segments))
+	rsegs := make([]rsegment, len(s.segments))
+	mustID := func(name string) program.BlockID {
+		id, ok := p.Lookup(name)
+		if !ok {
+			panic("workloads: spec references unknown block " + name)
+		}
+		return id
+	}
 	for i, seg := range s.segments {
 		n := int(float64(total) * seg.share)
 		if n < 1 {
 			n = 1
 		}
 		counts[i] = n
+		rs := rsegment{seg: seg}
+		for _, pt := range seg.patterns {
+			rs.patterns = append(rs.patterns, rpattern{pattern: pt, id: mustID(pt.block)})
+		}
+		for _, c := range seg.code {
+			rs.code = append(rs.code, rcodeUse{codeUse: c, id: mustID(c.block)})
+		}
+		rsegs[i] = rs
 	}
-	rng := rand.New(rand.NewSource(s.seed))
-	return &genStream{
-		g:        &generator{prog: p, rng: rng, stack: s.stack},
-		segments: s.segments,
-		counts:   counts,
+	g := &generator{
+		blocks: p.Blocks(),
+		rng:    rand.New(rand.NewSource(s.seed)),
+		cursor: make([]int, p.NumBlocks()),
 	}
+	// A spec without a (known) stack block simply emits no call frames,
+	// matching the lookup-and-skip of earlier versions.
+	if id, ok := p.Lookup(s.stack); ok {
+		g.stackID, g.hasStack = id, true
+	}
+	return &genStream{g: g, segments: rsegs, counts: counts}
 }
 
 // genStream adapts the generator to the trace.Stream pull interface:
@@ -154,7 +194,7 @@ func (s spec) stream(p *program.Program, scale float64) *genStream {
 // hundred events regardless of trace length.
 type genStream struct {
 	g        *generator
-	segments []segment
+	segments []rsegment
 	counts   []int
 	segIdx   int
 	actIdx   int
@@ -185,13 +225,16 @@ func (st *genStream) Next() (trace.Event, bool) {
 
 // generator emits trace events for a spec.
 type generator struct {
-	prog   *program.Program
+	blocks []program.Block // dense BlockID → block descriptor
 	rng    *rand.Rand
-	stack  string
 	events []trace.Event
 
-	// cursor tracks the sequential offset per block name.
-	cursor map[string]int
+	// stackID names the stack block used by call markers; hasStack is
+	// false when the spec's stack block does not exist.
+	stackID  program.BlockID
+	hasStack bool
+	// cursor tracks the sequential offset per block, indexed by BlockID.
+	cursor []int
 	// sinceFetch counts data accesses since the last instruction fetch.
 	sinceFetch int
 	// stackDepth is the current call-stack depth in bytes (frames are
@@ -201,15 +244,12 @@ type generator struct {
 
 // runActivation emits the events of one activation: the periodic
 // call/return pair, the entry fetch burst, and the data run.
-func (g *generator) runActivation(seg segment, act int) {
-	if g.cursor == nil {
-		g.cursor = make(map[string]int)
-	}
+func (g *generator) runActivation(seg rsegment, act int) {
 	totalW := 0.0
 	for _, pt := range seg.patterns {
 		totalW += pt.weight
 	}
-	if seg.callEvery > 0 && act%seg.callEvery == 0 {
+	if seg.seg.callEvery > 0 && act%seg.seg.callEvery == 0 {
 		g.emitCall(seg)
 	}
 	pt := g.pickPattern(seg.patterns, totalW)
@@ -220,7 +260,7 @@ func (g *generator) runActivation(seg segment, act int) {
 	}
 }
 
-func (g *generator) pickPattern(patterns []pattern, totalW float64) pattern {
+func (g *generator) pickPattern(patterns []rpattern, totalW float64) rpattern {
 	u := g.rng.Float64() * totalW
 	for _, pt := range patterns {
 		if u < pt.weight {
@@ -232,15 +272,8 @@ func (g *generator) pickPattern(patterns []pattern, totalW float64) pattern {
 }
 
 // emitData issues one access event according to the pattern.
-func (g *generator) emitData(pt pattern, seg segment) {
-	id, ok := g.prog.Lookup(pt.block)
-	if !ok {
-		panic("workloads: spec references unknown block " + pt.block)
-	}
-	b, err := g.prog.Block(id)
-	if err != nil {
-		panic(err)
-	}
+func (g *generator) emitData(pt rpattern, seg rsegment) {
+	b := &g.blocks[pt.id]
 	size := pt.burstWords * 4
 	if size <= 0 {
 		size = 4
@@ -250,8 +283,8 @@ func (g *generator) emitData(pt pattern, seg segment) {
 	}
 	var off int
 	if pt.sequential {
-		off = g.cursor[pt.block]
-		g.cursor[pt.block] = (off + size) % maxOffset(b.Size, size)
+		off = g.cursor[pt.id]
+		g.cursor[pt.id] = (off + size) % maxOffset(b.Size, size)
 	} else {
 		off = g.rng.Intn(maxOffset(b.Size, size))
 		off &^= 3 // word-align
@@ -261,15 +294,15 @@ func (g *generator) emitData(pt pattern, seg segment) {
 		op = trace.Read
 	}
 	think := 0
-	if seg.think > 0 {
-		think = g.rng.Intn(2*seg.think + 1)
+	if seg.seg.think > 0 {
+		think = g.rng.Intn(2*seg.seg.think + 1)
 	}
 	g.events = append(g.events, trace.AccessEvent(trace.Access{
 		Op: op, Space: trace.Data,
 		Addr: b.Addr + uint32(off), Size: size, Think: think,
 	}))
 	g.sinceFetch++
-	if seg.fetchEvery > 0 && g.sinceFetch >= seg.fetchEvery {
+	if seg.seg.fetchEvery > 0 && g.sinceFetch >= seg.seg.fetchEvery {
 		g.sinceFetch = 0
 		g.fetchBurst(seg)
 	}
@@ -285,7 +318,7 @@ func maxOffset(blockSize, accessSize int) int {
 
 // fetchBurst emits one instruction-fetch burst from a weighted code
 // block.
-func (g *generator) fetchBurst(seg segment) {
+func (g *generator) fetchBurst(seg rsegment) {
 	if len(seg.code) == 0 {
 		return
 	}
@@ -302,15 +335,8 @@ func (g *generator) fetchBurst(seg segment) {
 		}
 		u -= c.weight
 	}
-	id, ok := g.prog.Lookup(use.block)
-	if !ok {
-		panic("workloads: spec references unknown code block " + use.block)
-	}
-	b, err := g.prog.Block(id)
-	if err != nil {
-		panic(err)
-	}
-	words := seg.fetchWords
+	b := &g.blocks[use.id]
+	words := seg.seg.fetchWords
 	if words <= 0 {
 		words = 8
 	}
@@ -318,8 +344,8 @@ func (g *generator) fetchBurst(seg segment) {
 	if size > b.Size {
 		size = b.Size
 	}
-	off := g.cursor[use.block]
-	g.cursor[use.block] = (off + size) % maxOffset(b.Size, size)
+	off := g.cursor[use.id]
+	g.cursor[use.id] = (off + size) % maxOffset(b.Size, size)
 	g.events = append(g.events, trace.AccessEvent(trace.Access{
 		Op: trace.Read, Space: trace.Code,
 		Addr: b.Addr + uint32(off), Size: size, Think: 0,
@@ -332,19 +358,15 @@ func (g *generator) fetchBurst(seg segment) {
 // same nesting level rewrite the same words, which is what makes the
 // stack the write-endurance hot spot of the paper's evaluation (Table
 // III's pure-STT lifetime collapses because of cells like these).
-func (g *generator) emitCall(seg segment) {
+func (g *generator) emitCall(seg rsegment) {
 	use := seg.code[g.rng.Intn(len(seg.code))]
 	if use.frameBytes == 0 {
 		return
 	}
-	id, ok := g.prog.Lookup(g.stack)
-	if !ok {
+	if !g.hasStack {
 		return
 	}
-	b, err := g.prog.Block(id)
-	if err != nil {
-		panic(err)
-	}
+	b := &g.blocks[g.stackID]
 	g.events = append(g.events, trace.CallEvent(use.frameBytes))
 	touch := use.stackTouch
 	if touch*4 > b.Size {
