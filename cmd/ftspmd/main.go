@@ -1,0 +1,135 @@
+// Command ftspmd serves the FTSPM evaluation engines over HTTP/JSON:
+// synchronous single-structure evaluation plus asynchronous sweep and
+// soak campaigns backed by the crash-safe campaign runner, with
+// admission control, load shedding, per-request deadlines, a readiness
+// circuit breaker, panic isolation, and graceful drain.
+//
+// Endpoints:
+//
+//	POST   /v1/evaluate   one workload × structure, within a deadline
+//	POST   /v1/sweep      async full design-space sweep job
+//	POST   /v1/soak       async Monte-Carlo recovery soak job
+//	GET    /v1/jobs       list jobs
+//	GET    /v1/jobs/{id}  job status / result
+//	DELETE /v1/jobs/{id}  cancel a job (checkpointed, resumable)
+//	GET    /healthz       liveness (always 200 while the process runs)
+//	GET    /readyz        readiness (503 while draining or tripped)
+//
+// SIGINT/SIGTERM drains gracefully: admission closes, in-flight
+// campaign jobs finish their running sim jobs and journal them, and the
+// daemon exits 0. Interrupted jobs resume byte-identically when
+// resubmitted with the same parameters, the same checkpoint name, and
+// resume=true against the same -data dir.
+//
+// Usage:
+//
+//	ftspmd [-listen 127.0.0.1:8077] [-data ftspmd-data]
+//	       [-max-evaluate N] [-evaluate-queue N]
+//	       [-max-campaigns N] [-campaign-queue N]
+//	       [-default-timeout 30s] [-max-timeout 2m]
+//	       [-drain-timeout 1m] [-scale 1.0]
+//
+// Exit status: 0 success (including a clean drain), 1 error, 2 bad
+// flags.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"ftspm/internal/campaign"
+	"ftspm/internal/server"
+)
+
+func main() {
+	ctx, stop := campaign.SignalContext(context.Background())
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftspmd:", err)
+		os.Exit(campaign.ExitCode(err))
+	}
+}
+
+// onListen, when set, observes the bound listen address (test seam for
+// -listen :0).
+var onListen func(addr string)
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftspmd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	listen := fs.String("listen", "127.0.0.1:8077", "TCP listen address")
+	data := fs.String("data", "ftspmd-data", "directory for per-job campaign checkpoints")
+	maxEval := fs.Int("max-evaluate", 0, "concurrent synchronous evaluations (0 = default)")
+	evalQueue := fs.Int("evaluate-queue", 0, "queued evaluations before shedding (0 = default)")
+	maxCamp := fs.Int("max-campaigns", 0, "concurrent campaign jobs (0 = default)")
+	campQueue := fs.Int("campaign-queue", 0, "queued campaign jobs before shedding (0 = default)")
+	defTimeout := fs.Duration("default-timeout", 0, "evaluate deadline when unspecified (0 = default)")
+	maxTimeout := fs.Duration("max-timeout", 0, "ceiling for client-requested deadlines (0 = default)")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "grace period for in-flight work on shutdown")
+	scale := fs.Float64("scale", 0, "default trace scale for evaluate/sweep (0 = engine default)")
+	if err := fs.Parse(args); err != nil {
+		return campaign.Usagef("%v", err)
+	}
+	if fs.NArg() != 0 {
+		return campaign.Usagef("unexpected arguments: %v", fs.Args())
+	}
+
+	srv, err := server.New(server.Config{
+		DataDir:        *data,
+		MaxEvaluate:    *maxEval,
+		EvaluateQueue:  *evalQueue,
+		MaxCampaigns:   *maxCamp,
+		CampaignQueue:  *campQueue,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultScale:   *scale,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Fprintf(out, "ftspmd listening on %s (data dir %s)\n", ln.Addr(), *data)
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "ftspmd draining (up to %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the job layer first (checkpoints in-flight campaigns), then
+	// stop the HTTP side, which waits for in-flight request handlers.
+	drainErr := srv.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = fmt.Errorf("shutdown: %w", err)
+	}
+	if sErr := <-serveErr; sErr != nil && !errors.Is(sErr, http.ErrServerClosed) && drainErr == nil {
+		drainErr = sErr
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Fprintln(out, "ftspmd drained cleanly")
+	return nil
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftspm/internal/campaign"
+	"ftspm/internal/server"
+)
+
+// syncBuffer guards run()'s output writer against concurrent reads from
+// the test goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunBadFlagsIsUsage(t *testing.T) {
+	err := run(context.Background(), []string{"-bogus"}, io.Discard)
+	if !campaign.IsUsage(err) {
+		t.Fatalf("err = %v, want usage error", err)
+	}
+	if got := campaign.ExitCode(err); got != campaign.ExitUsage {
+		t.Fatalf("exit code = %d, want %d", got, campaign.ExitUsage)
+	}
+	err = run(context.Background(), []string{"extra-arg"}, io.Discard)
+	if !campaign.IsUsage(err) {
+		t.Fatalf("positional args: err = %v, want usage error", err)
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-listen", "256.256.256.256:99999", "-data", t.TempDir(),
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("err = %v, want listen error", err)
+	}
+}
+
+// TestRunServeEvaluateAndDrain boots the real daemon on an ephemeral
+// port, serves one evaluation, then cancels the signal context and
+// checks it drains to a nil error (exit 0) with the drain messages
+// logged.
+func TestRunServeEvaluateAndDrain(t *testing.T) {
+	addrCh := make(chan string, 1)
+	onListen = func(addr string) { addrCh <- addr }
+	defer func() { onListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-listen", "127.0.0.1:0",
+			"-data", filepath.Join(t.TempDir(), "data"),
+			"-drain-timeout", "30s",
+		}, out)
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runErr:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", resp.StatusCode)
+	}
+
+	body := `{"workload":"casestudy","structure":"ftspm","scale":0.05}`
+	resp, err = http.Post(base+"/v1/evaluate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate = %d\n%s", resp.StatusCode, data)
+	}
+	var er server.EvaluateResponse
+	if err := json.Unmarshal(data, &er); err != nil || er.Run.Cycles == 0 {
+		t.Fatalf("evaluate body: %v\n%s", err, data)
+	}
+
+	cancel() // the SIGTERM path
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain returned %v (exit %d), want nil (exit 0)\n%s",
+				err, campaign.ExitCode(err), out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon never drained\n%s", out.String())
+	}
+	log := out.String()
+	for _, want := range []string{"listening on", "draining", "drained cleanly"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log missing %q:\n%s", want, log)
+		}
+	}
+	if campaign.ExitCode(nil) != campaign.ExitOK {
+		t.Fatal("clean drain must map to exit 0")
+	}
+}

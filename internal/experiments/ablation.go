@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -164,7 +165,7 @@ func AblationRegionSplit(opts Options) ([]SplitPoint, *report.Table, error) {
 			spec.DSPM = append(spec.DSPM, spm.RegionConfig{Kind: spm.RegionParity, SizeBytes: split[1] * kb})
 			spec.DataKinds = append(spec.DataKinds, spm.RegionParity)
 		}
-		out, err := evaluateSpec(w, spec, prof, opts)
+		out, err := evaluateSpec(context.Background(), w, spec, prof, opts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -210,7 +211,7 @@ func AblationPriorities(workloadName string, opts Options) (*report.Table, error
 	} {
 		o := opts
 		o.Priority = prio
-		out, err := evaluateSpec(w, core.MustSpec(core.StructFTSPM), prof, o)
+		out, err := evaluateSpec(context.Background(), w, core.MustSpec(core.StructFTSPM), prof, o)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +272,7 @@ func AblationWriteThreshold(opts Options) ([]ThresholdPoint, *report.Table, erro
 		o.Thresholds.PerfOverhead = 1000
 		o.Thresholds.EnergyOverhead = 1000
 		o.Thresholds.CellWriteFraction = frac / 10
-		out, err := evaluateSpec(w, core.MustSpec(core.StructFTSPM), prof, o)
+		out, err := evaluateSpec(context.Background(), w, core.MustSpec(core.StructFTSPM), prof, o)
 		if err != nil {
 			return nil, nil, err
 		}

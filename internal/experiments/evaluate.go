@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -87,23 +88,32 @@ var ErrUnknownWorkload = workloads.ErrUnknownWorkload
 // the simulator consume streaming trace generators, so a single run
 // never materializes the trace.
 func Evaluate(w workloads.Workload, structure core.Structure, opts Options) (Outcome, error) {
+	return EvaluateContext(context.Background(), w, structure, opts)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation: both the
+// profiling and the simulation loops poll ctx every few thousand trace
+// events, so a request deadline or client cancellation stops the work
+// promptly instead of merely abandoning its result (errors.Is on the
+// returned error sees the context error).
+func EvaluateContext(ctx context.Context, w workloads.Workload, structure core.Structure, opts Options) (Outcome, error) {
 	opts = opts.normalize()
 	spec, err := core.NewSpec(structure)
 	if err != nil {
 		return Outcome{}, err
 	}
-	prof, err := profile.Run(w.Program(), w.TraceStream(opts.Scale))
+	prof, err := profile.RunContext(ctx, w.Program(), w.TraceStream(opts.Scale))
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: profile %s: %w", w.Name, err)
 	}
-	return evaluateSpec(w, spec, prof, opts)
+	return evaluateSpec(ctx, w, spec, prof, opts)
 }
 
 // evaluateSpec is the Evaluate body for a pre-computed profile and a
 // possibly-customized structure spec (used by the ablation studies).
 // The simulated trace is regenerated as a stream.
-func evaluateSpec(w workloads.Workload, spec core.Spec, prof *profile.Profile, opts Options) (Outcome, error) {
-	return evaluateSpecStream(w, spec, prof, w.TraceStream(opts.normalize().Scale), opts)
+func evaluateSpec(ctx context.Context, w workloads.Workload, spec core.Spec, prof *profile.Profile, opts Options) (Outcome, error) {
+	return evaluateSpecStream(ctx, w, spec, prof, w.TraceStream(opts.normalize().Scale), opts)
 }
 
 // evaluateSpecStream is the shared evaluation body: everything after
@@ -111,7 +121,8 @@ func evaluateSpec(w workloads.Workload, spec core.Spec, prof *profile.Profile, o
 // sweep engine passes replay streams over one shared materialized
 // trace; the single-run paths pass fresh generators. Profiles are only
 // read here, so one profile may back any number of concurrent calls.
-func evaluateSpecStream(w workloads.Workload, spec core.Spec, prof *profile.Profile,
+// The simulation loop polls ctx for cancellation (nil never cancels).
+func evaluateSpecStream(ctx context.Context, w workloads.Workload, spec core.Spec, prof *profile.Profile,
 	st trace.Stream, opts Options) (Outcome, error) {
 	opts = opts.normalize()
 	structure := spec.Structure
@@ -123,7 +134,7 @@ func evaluateSpecStream(w workloads.Workload, spec core.Spec, prof *profile.Prof
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: build %s/%v: %w", w.Name, structure, err)
 	}
-	res, err := machine.Run(st)
+	res, err := machine.RunContext(ctx, st)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: run %s/%v: %w", w.Name, structure, err)
 	}
@@ -163,9 +174,15 @@ func evaluateSpecStream(w workloads.Workload, spec core.Spec, prof *profile.Prof
 
 // EvaluateByName resolves the workload by name and evaluates it.
 func EvaluateByName(name string, structure core.Structure, opts Options) (Outcome, error) {
+	return EvaluateByNameContext(context.Background(), name, structure, opts)
+}
+
+// EvaluateByNameContext resolves the workload by name and evaluates it
+// under ctx (see EvaluateContext).
+func EvaluateByNameContext(ctx context.Context, name string, structure core.Structure, opts Options) (Outcome, error) {
 	w, err := workloads.ByName(name)
 	if err != nil {
 		return Outcome{}, err
 	}
-	return Evaluate(w, structure, opts)
+	return EvaluateContext(ctx, w, structure, opts)
 }

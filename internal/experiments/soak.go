@@ -308,11 +308,11 @@ func RunSoakCampaign(ctx context.Context, base SoakOptions, structures []core.St
 			order = append(order, id)
 			jobs = append(jobs, campaign.Job[soakTrialResult]{
 				ID: id,
-				Run: func(context.Context) (soakTrialResult, error) {
+				Run: func(jctx context.Context) (soakTrialResult, error) {
 					if err := ss.ensure(sh); err != nil {
 						return soakTrialResult{}, err
 					}
-					res, err := runSoakTrial(w, ss.spec, ss.place, sh.events, opts, t)
+					res, err := runSoakTrial(jctx, w, ss.spec, ss.place, sh.events, opts, t)
 					if err != nil {
 						return soakTrialResult{}, fmt.Errorf("experiments: soak trial %d: %w", t, err)
 					}
@@ -368,8 +368,9 @@ func aggregateSoak(workload string, s core.Structure, planned int, trials []soak
 
 // runSoakTrial executes one seeded trial. Every random stream (strikes,
 // wear) is derived from the campaign seed and the trial index, so the
-// campaign is reproducible and its trials are independent.
-func runSoakTrial(w workloads.Workload, spec core.Spec, place spm.Placement,
+// campaign is reproducible and its trials are independent. The trial's
+// simulation loop polls ctx, so a per-job deadline stops it promptly.
+func runSoakTrial(ctx context.Context, w workloads.Workload, spec core.Spec, place spm.Placement,
 	events []trace.Event, opts SoakOptions, t int) (soakTrialResult, error) {
 	const trialStride = 1_000_003 // prime: keeps per-trial seeds distinct
 	cfg := spec.SimConfig(place)
@@ -394,7 +395,7 @@ func runSoakTrial(w workloads.Workload, spec core.Spec, place spm.Placement,
 	if err != nil {
 		return soakTrialResult{}, err
 	}
-	res, err := m.Run(trace.Replay(events))
+	res, err := m.RunContext(ctx, trace.Replay(events))
 	if err != nil {
 		return soakTrialResult{}, err
 	}

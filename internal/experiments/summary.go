@@ -126,6 +126,11 @@ func SummarizePartial(sw *Sweep, status *CampaignStatus) (*Summary, error) {
 	return s, nil
 }
 
+// SummarizeOutcome flattens one outcome into its serializable metrics —
+// the single-evaluation analogue of Summarize, used by the serving
+// layer for /v1/evaluate responses.
+func SummarizeOutcome(out Outcome) RunSummary { return summarizeRun(out) }
+
 func summarizeRun(out Outcome) RunSummary {
 	return RunSummary{
 		Workload:         out.Workload,

@@ -141,7 +141,7 @@ func RunSweepCampaign(ctx context.Context, opts Options, cc CampaignConfig) (*Sw
 			order = append(order, id)
 			jobs = append(jobs, campaign.Job[Outcome]{
 				ID:  id,
-				Run: func(context.Context) (Outcome, error) { return runSweepJob(w, s, sh, opts) },
+				Run: func(jctx context.Context) (Outcome, error) { return runSweepJob(jctx, w, s, sh, opts) },
 			})
 		}
 	}
@@ -166,8 +166,11 @@ func RunSweepCampaign(ctx context.Context, opts Options, cc CampaignConfig) (*Sw
 }
 
 // runSweepJob is one (workload, structure) evaluation: share the
-// workload's profile and materialized trace, then simulate.
-func runSweepJob(w workloads.Workload, s core.Structure, sh *sharedWorkload, opts Options) (Outcome, error) {
+// workload's profile and materialized trace, then simulate. The job
+// context (carrying the per-job deadline) cancels only this job's
+// simulation; the once-per-workload shared profiling runs detached so
+// one job's deadline can never poison the share for its siblings.
+func runSweepJob(ctx context.Context, w workloads.Workload, s core.Structure, sh *sharedWorkload, opts Options) (Outcome, error) {
 	if sweepJobHook != nil {
 		sweepJobHook(w.Name, s)
 	}
@@ -190,7 +193,7 @@ func runSweepJob(w workloads.Workload, s core.Structure, sh *sharedWorkload, opt
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: sweep %s/%v: %w", w.Name, s, err)
 	}
-	out, err := evaluateSpecStream(w, spec, sh.prof, trace.Replay(sh.events), opts)
+	out, err := evaluateSpecStream(ctx, w, spec, sh.prof, trace.Replay(sh.events), opts)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: sweep %s/%v: %w", w.Name, s, err)
 	}

@@ -110,7 +110,7 @@ func TestCachedTraceMatchesGenerator(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := core.MustSpec(core.StructFTSPM)
-	b, err := evaluateSpecStream(w, spec, a.Profile, cachedTrace(w, sweepTestOpts.Scale), sweepTestOpts)
+	b, err := evaluateSpecStream(context.Background(), w, spec, a.Profile, cachedTrace(w, sweepTestOpts.Scale), sweepTestOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@
 package profile
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -154,6 +155,22 @@ var ErrUnresolvedAccess = errors.New("profile: access outside all program blocks
 // touched word (an ideal single-cycle SPM), so life-times are measured in
 // the same units as the paper's profiler.
 func Run(prog *program.Program, s trace.Stream) (*Profile, error) {
+	return RunContext(nil, prog, s)
+}
+
+// ctxCheckMask throttles cancellation checks: the context is polled
+// every ctxCheckMask+1 trace events (same cadence as the simulator).
+const ctxCheckMask = 4095
+
+// ErrCanceled wraps the context error when profiling is stopped by
+// cancellation or deadline; errors.Is sees through it to
+// context.Canceled / context.DeadlineExceeded.
+var ErrCanceled = errors.New("profile: canceled")
+
+// RunContext is Run with cooperative cancellation: the trace loop polls
+// ctx every few thousand events and abandons profiling with an error
+// wrapping ErrCanceled once it is done. A nil ctx never cancels.
+func RunContext(ctx context.Context, prog *program.Program, s trace.Stream) (*Profile, error) {
 	p := &Profile{
 		prog:   prog,
 		Blocks: make([]BlockProfile, prog.NumBlocks()),
@@ -181,10 +198,17 @@ func Run(prog *program.Program, s trace.Stream) (*Profile, error) {
 		a.live = false
 	}
 
+	var events uint64
 	for {
 		e, ok := s.Next()
 		if !ok {
 			break
+		}
+		events++
+		if ctx != nil && events&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w after %d events: %w", ErrCanceled, events, err)
+			}
 		}
 		switch e.Kind {
 		case trace.KindCall:

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errOverloaded is returned by limiter.admit when the class's wait
+// queue is full; the handler maps it to 429 with a Retry-After hint.
+var errOverloaded = errors.New("server: class overloaded")
+
+// limiter is one admission class: a concurrency limit plus a bounded
+// FIFO wait queue. Admission is decided synchronously under one lock,
+// so shedding is deterministic — with limit L and queue capacity Q, the
+// L+Q+1-th concurrent request is shed, always. (A channel-semaphore
+// with a racy waiter counter would admit a scheduling-dependent number
+// instead, which is exactly what the overload tests must not tolerate.)
+type limiter struct {
+	name     string
+	limit    int
+	queueCap int
+
+	mu      sync.Mutex
+	active  int
+	waiters []*slot // FIFO; head is granted on each release
+
+	sheds atomic.Uint64
+}
+
+// slot is one admitted request's position: active immediately, or
+// queued until a release grants it.
+type slot struct {
+	l     *limiter
+	ready chan struct{} // closed when the slot becomes active
+	// granted and abandoned are guarded by l.mu.
+	granted   bool
+	abandoned bool
+}
+
+func newLimiter(name string, limit, queueCap int) *limiter {
+	return &limiter{name: name, limit: limit, queueCap: queueCap}
+}
+
+// admit reserves an active slot or a queue position without blocking.
+// It returns errOverloaded when the queue is full (the caller sheds).
+// On success the caller must eventually release() the slot — after
+// wait() returns nil.
+func (l *limiter) admit() (*slot, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := &slot{l: l, ready: make(chan struct{})}
+	if l.active < l.limit {
+		l.active++
+		s.granted = true
+		close(s.ready)
+		return s, nil
+	}
+	if len(l.waiters) >= l.queueCap {
+		l.sheds.Add(1)
+		return nil, errOverloaded
+	}
+	l.waiters = append(l.waiters, s)
+	return s, nil
+}
+
+// wait blocks until the slot is active or ctx is done. A ctx expiry
+// abandons the queue position (or immediately releases a slot granted
+// in the race window) and returns the ctx error; the caller must not
+// release() after a non-nil return.
+func (s *slot) wait(ctx context.Context) error {
+	select {
+	case <-s.ready:
+		return nil
+	case <-ctx.Done():
+	}
+	l := s.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s.granted {
+		// Granted between ctx.Done and the lock: hand the slot straight
+		// to the next waiter so it is never leaked.
+		l.releaseLocked()
+		return ctx.Err()
+	}
+	s.abandoned = true
+	for i, w := range l.waiters {
+		if w == s {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			break
+		}
+	}
+	return ctx.Err()
+}
+
+// release returns an active slot: the head waiter is granted in FIFO
+// order, or the active count drops.
+func (s *slot) release() {
+	s.l.mu.Lock()
+	defer s.l.mu.Unlock()
+	s.l.releaseLocked()
+}
+
+func (l *limiter) releaseLocked() {
+	for len(l.waiters) > 0 {
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		if w.abandoned {
+			continue
+		}
+		w.granted = true
+		close(w.ready)
+		return
+	}
+	l.active--
+}
+
+// status snapshots the class occupancy for /readyz.
+func (l *limiter) status() ClassStatus {
+	l.mu.Lock()
+	active, queued := l.active, len(l.waiters)
+	l.mu.Unlock()
+	return ClassStatus{
+		Active:   active,
+		Queued:   queued,
+		Limit:    l.limit,
+		QueueCap: l.queueCap,
+		Shed:     l.sheds.Load(),
+	}
+}
+
+// retryAfter estimates when a shed client should try again: one base
+// interval per queued-or-running request ahead of it, capped so the
+// hint never grows unbounded during a stampede.
+func (l *limiter) retryAfter(base time.Duration) time.Duration {
+	l.mu.Lock()
+	backlog := l.active + len(l.waiters)
+	l.mu.Unlock()
+	d := base * time.Duration(1+backlog)
+	if max := 30 * time.Second; d > max {
+		d = max
+	}
+	return d
+}

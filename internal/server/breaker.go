@@ -1,0 +1,146 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig parameterizes the readiness circuit breaker. The zero
+// value of every field selects the default in parentheses.
+type BreakerConfig struct {
+	// Window is the outcome ring size over which the error rate is
+	// measured (32).
+	Window int
+	// MinSamples is the minimum number of recorded outcomes before the
+	// error rate can trip the breaker (8).
+	MinSamples int
+	// ErrorRate is the tripping error fraction over the window (0.5).
+	ErrorRate float64
+	// ShedWindow is the saturation horizon: sheds inside it count
+	// toward ShedTrip (5s).
+	ShedWindow time.Duration
+	// ShedTrip is the shed count within ShedWindow that trips the
+	// breaker — the worker pool is saturated and actively rejecting
+	// (16).
+	ShedTrip int
+	// Cooldown is how long the breaker stays open once tripped (5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.ErrorRate <= 0 {
+		c.ErrorRate = 0.5
+	}
+	if c.ShedWindow <= 0 {
+		c.ShedWindow = 5 * time.Second
+	}
+	if c.ShedTrip <= 0 {
+		c.ShedTrip = 16
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// breaker is the /readyz circuit breaker: it trips open — reporting the
+// instance not ready so load balancers steer traffic away — when the
+// recent error rate spikes or admission is shedding hard (pool
+// saturation), and closes again after a cooldown with fresh state.
+// Request handling itself is never blocked by the breaker; readiness is
+// advisory, which is the standard contract of /readyz.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu        sync.Mutex
+	outcomes  []bool // ring; true = error
+	next      int
+	filled    int
+	errs      int
+	sheds     []time.Time // recent shed timestamps, pruned to ShedWindow
+	openUntil time.Time
+	trips     uint64
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	cfg = cfg.withDefaults()
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg, now: now, outcomes: make([]bool, cfg.Window)}
+}
+
+// recordOutcome feeds one finished request into the error-rate window.
+// Client errors (4xx) are not outcomes — only server-side results.
+func (b *breaker) recordOutcome(isErr bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.filled == len(b.outcomes) && b.outcomes[b.next] {
+		b.errs--
+	}
+	b.outcomes[b.next] = isErr
+	b.next = (b.next + 1) % len(b.outcomes)
+	if b.filled < len(b.outcomes) {
+		b.filled++
+	}
+	if isErr {
+		b.errs++
+	}
+	if b.filled >= b.cfg.MinSamples &&
+		float64(b.errs)/float64(b.filled) >= b.cfg.ErrorRate {
+		b.tripLocked()
+	}
+}
+
+// recordShed feeds one load-shedding rejection into the saturation
+// window.
+func (b *breaker) recordShed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	cutoff := now.Add(-b.cfg.ShedWindow)
+	kept := b.sheds[:0]
+	for _, t := range b.sheds {
+		if t.After(cutoff) {
+			kept = append(kept, t)
+		}
+	}
+	b.sheds = append(kept, now)
+	if len(b.sheds) >= b.cfg.ShedTrip {
+		b.tripLocked()
+	}
+}
+
+// tripLocked opens the breaker for the cooldown and resets the windows
+// so the half-open period starts from a clean slate.
+func (b *breaker) tripLocked() {
+	b.openUntil = b.now().Add(b.cfg.Cooldown)
+	b.trips++
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.next, b.filled, b.errs = 0, 0, 0
+	b.sheds = b.sheds[:0]
+}
+
+// ready reports whether the breaker is closed.
+func (b *breaker) ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.now().Before(b.openUntil)
+}
+
+// state renders the breaker for /readyz ("closed" or "open").
+func (b *breaker) state() string {
+	if b.ready() {
+		return "closed"
+	}
+	return "open"
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for deterministic breaker
+// tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+var testBreakerCfg = BreakerConfig{
+	Window:     8,
+	MinSamples: 4,
+	ErrorRate:  0.5,
+	ShedWindow: 5 * time.Second,
+	ShedTrip:   3,
+	Cooldown:   time.Minute,
+}
+
+func TestBreakerErrorRateTrip(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerCfg, clk.now)
+	// Below MinSamples nothing trips, even at 100% errors.
+	for i := 0; i < 3; i++ {
+		b.recordOutcome(true)
+		if !b.ready() {
+			t.Fatalf("tripped after %d samples, below MinSamples=4", i+1)
+		}
+	}
+	b.recordOutcome(true) // 4/4 errors ≥ 0.5
+	if b.ready() {
+		t.Fatal("breaker should be open after error-rate trip")
+	}
+	if got := b.state(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+	clk.advance(61 * time.Second)
+	if !b.ready() {
+		t.Fatal("breaker should close after the cooldown")
+	}
+	// Trip resets the window: old errors must not linger into the
+	// half-open period.
+	b.recordOutcome(true)
+	b.recordOutcome(true)
+	b.recordOutcome(true)
+	if !b.ready() {
+		t.Fatal("post-cooldown window should have restarted from zero samples")
+	}
+}
+
+func TestBreakerMixedOutcomesBelowRate(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerCfg, clk.now)
+	// Errors interleaved below the 0.5 rate at every prefix: stays
+	// closed.
+	for i := 0; i < 9; i++ {
+		b.recordOutcome(i%3 == 2)
+		if !b.ready() {
+			t.Fatalf("tripped at sample %d with error rate below threshold", i+1)
+		}
+	}
+}
+
+func TestBreakerShedSaturationTrip(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerCfg, clk.now)
+	b.recordShed()
+	b.recordShed()
+	if !b.ready() {
+		t.Fatal("two sheds must not trip (ShedTrip=3)")
+	}
+	b.recordShed()
+	if b.ready() {
+		t.Fatal("three sheds inside the window should trip")
+	}
+}
+
+func TestBreakerShedWindowPrunes(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerCfg, clk.now)
+	b.recordShed()
+	b.recordShed()
+	clk.advance(6 * time.Second) // both fall out of the 5s window
+	b.recordShed()
+	b.recordShed()
+	if !b.ready() {
+		t.Fatal("stale sheds outside ShedWindow must not count toward the trip")
+	}
+	b.recordShed()
+	if b.ready() {
+		t.Fatal("three fresh sheds should trip")
+	}
+}

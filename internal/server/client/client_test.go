@@ -1,0 +1,200 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ftspm/internal/server"
+)
+
+// testClient builds a client with deterministic seams: identity jitter
+// and a sleep recorder that never actually sleeps.
+func testClient(t *testing.T, cfg Config) (*Client, *[]time.Duration) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var slept []time.Duration
+	c.jitter = func(d time.Duration) time.Duration { return d }
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		slept = append(slept, d)
+		return nil
+	}
+	return c, &slept
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "shed", RetryAfterMS: 2000})
+			return
+		}
+		json.NewEncoder(w).Encode(server.EvaluateResponse{ElapsedMS: 1})
+	}))
+	defer ts.Close()
+
+	c, slept := testClient(t, Config{BaseURL: ts.URL, BaseBackoff: 10 * time.Millisecond})
+	resp, err := c.Evaluate(context.Background(), server.EvaluateRequest{Workload: "w"})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if resp.ElapsedMS != 1 || calls.Load() != 3 {
+		t.Fatalf("calls = %d resp = %+v, want 3 calls and the success body", calls.Load(), resp)
+	}
+	// The server hint (2s) dominates the computed backoff (10ms, 20ms).
+	want := []time.Duration{2 * time.Second, 2 * time.Second}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("sleeps = %v, want %v", *slept, want)
+	}
+}
+
+func TestRetryBackoffDoublesWithoutHint(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "soak-000001"})
+	}))
+	defer ts.Close()
+
+	c, slept := testClient(t, Config{
+		BaseURL:     ts.URL,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  250 * time.Millisecond,
+	})
+	st, err := c.Soak(context.Background(), server.SoakRequest{})
+	if err != nil || st.ID != "soak-000001" {
+		t.Fatalf("Soak: %v %+v", err, st)
+	}
+	// 100ms, 200ms, then clamped to MaxBackoff.
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 250 * time.Millisecond}
+	if len(*slept) != 3 || (*slept)[0] != want[0] || (*slept)[1] != want[1] || (*slept)[2] != want[2] {
+		t.Fatalf("sleeps = %v, want %v", *slept, want)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "bad structure"})
+	}))
+	defer ts.Close()
+
+	c, slept := testClient(t, Config{BaseURL: ts.URL})
+	_, err := c.Evaluate(context.Background(), server.EvaluateRequest{Workload: "w"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if !strings.Contains(se.Error(), "bad structure") {
+		t.Fatalf("error text %q should carry the server message", se.Error())
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Fatalf("calls = %d sleeps = %v, want exactly one attempt", calls.Load(), *slept)
+	}
+}
+
+func TestGiveUpAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c, _ := testClient(t, Config{BaseURL: ts.URL, MaxRetries: 2, BaseBackoff: time.Millisecond})
+	_, err := c.Evaluate(context.Background(), server.EvaluateRequest{Workload: "w"})
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v, want giving-up error", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want wrapped 429", err)
+	}
+	if calls.Load() != 3 { // first try + 2 retries
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestTransportErrorRetriesGETOnly(t *testing.T) {
+	// Nothing listens here; every exchange fails before a response.
+	dead := "http://127.0.0.1:1"
+	c, slept := testClient(t, Config{BaseURL: dead, MaxRetries: 2, BaseBackoff: time.Millisecond})
+
+	if _, err := c.Job(context.Background(), "soak-000001"); err == nil {
+		t.Fatal("GET against dead server should fail")
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("GET sleeps = %v, want 2 retries", *slept)
+	}
+
+	*slept = (*slept)[:0]
+	if _, err := c.Sweep(context.Background(), server.SweepRequest{}); err == nil {
+		t.Fatal("POST against dead server should fail")
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("POST sleeps = %v, want no transport retries for mutations", *slept)
+	}
+}
+
+func TestWaitJobPollsUntilTerminal(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := server.JobStatus{ID: "soak-000001", State: server.JobRunning}
+		if calls.Add(1) >= 3 {
+			st.State = server.JobDone
+		}
+		json.NewEncoder(w).Encode(st)
+	}))
+	defer ts.Close()
+
+	c, slept := testClient(t, Config{BaseURL: ts.URL})
+	st, err := c.WaitJob(context.Background(), "soak-000001", 50*time.Millisecond)
+	if err != nil || st.State != server.JobDone {
+		t.Fatalf("WaitJob: %v %+v", err, st)
+	}
+	if calls.Load() != 3 || len(*slept) != 2 {
+		t.Fatalf("calls = %d sleeps = %v, want 3 polls with 2 waits", calls.Load(), *slept)
+	}
+}
+
+func TestReadyDecodesNotReady(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(server.ReadyStatus{Ready: false, Draining: true})
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{BaseURL: ts.URL, MaxRetries: 1, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.jitter = func(d time.Duration) time.Duration { return d }
+	c.sleep = func(ctx context.Context, d time.Duration) error { return nil }
+	st, err := c.Ready(context.Background())
+	if err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	if st.Ready {
+		t.Fatalf("status = %+v, want not ready", st)
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Job states. Terminal states are done, failed, canceled, interrupted;
+// canceled and interrupted jobs with a checkpoint are resumable.
+const (
+	JobQueued      = "queued"
+	JobRunning     = "running"
+	JobDone        = "done"
+	JobFailed      = "failed"
+	JobCanceled    = "canceled"
+	JobInterrupted = "interrupted"
+)
+
+// Drain/cancel causes attached to job contexts, surfaced in JobStatus.
+var (
+	errDraining    = fmt.Errorf("server draining")
+	errJobCanceled = fmt.Errorf("canceled by client")
+)
+
+// job is one asynchronous campaign job.
+type job struct {
+	id         string
+	kind       string
+	checkpoint string // journal file name inside the data dir
+
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     string
+	errText   string
+	result    json.RawMessage
+	resumable bool
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func (j *job) setRunning(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = JobRunning
+	j.started = now
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *job) finish(now time.Time, state, errText string, result json.RawMessage, resumable bool) {
+	j.mu.Lock()
+	j.state = state
+	j.errText = errText
+	j.result = result
+	j.resumable = resumable
+	j.finished = now
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:         j.id,
+		Kind:       j.kind,
+		State:      j.state,
+		Error:      j.errText,
+		Checkpoint: j.checkpoint,
+		Resumable:  j.resumable,
+		Result:     j.result,
+		Created:    fmtTime(j.created),
+		Started:    fmtTime(j.started),
+		Finished:   fmtTime(j.finished),
+	}
+}
+
+// jobSet is the in-memory job registry. Job metadata lives for the
+// daemon's lifetime; what survives restarts is each job's checkpoint
+// file, which a client resumes by resubmitting with the same
+// parameters, checkpoint name, and resume=true.
+type jobSet struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int
+}
+
+func newJobSet() *jobSet {
+	return &jobSet{jobs: make(map[string]*job)}
+}
+
+// create registers a new queued job and assigns its ID.
+func (js *jobSet) create(kind, checkpoint string, now time.Time) *job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.seq++
+	j := &job{
+		id:         fmt.Sprintf("%s-%06d", kind, js.seq),
+		kind:       kind,
+		checkpoint: checkpoint,
+		state:      JobQueued,
+		created:    now,
+		done:       make(chan struct{}),
+	}
+	js.jobs[j.id] = j
+	return j
+}
+
+func (js *jobSet) get(id string) (*job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	return j, ok
+}
+
+// list snapshots every job, oldest first.
+func (js *jobSet) list() []JobStatus {
+	js.mu.Lock()
+	all := make([]*job, 0, len(js.jobs))
+	for _, j := range js.jobs {
+		all = append(all, j)
+	}
+	js.mu.Unlock()
+	sort.Slice(all, func(a, b int) bool { return all[a].id < all[b].id })
+	out := make([]JobStatus, len(all))
+	for i, j := range all {
+		out[i] = j.status()
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ftspm/internal/spm"
+	"ftspm/internal/trace"
+	"ftspm/internal/workloads"
+)
+
+// cancelTestMachine builds a case-study machine with empty placement
+// (every access runs through the caches), big enough to chew through a
+// long trace when not canceled.
+func cancelTestMachine(t *testing.T) *Machine {
+	t.Helper()
+	cfg := DefaultPlatform()
+	cfg.ISPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 16 * 1024}}
+	cfg.DSPM = []spm.RegionConfig{{Kind: spm.RegionSTT, SizeBytes: 16 * 1024}}
+	m, err := New(workloads.CaseStudy().Program(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRunContextCanceledStopsMidRun proves the run loop's periodic
+// cancellation check abandons a long trace instead of simulating it to
+// completion: a pre-canceled context must error out wrapping both
+// ErrCanceled and the context error, well before the full trace is
+// consumed.
+func TestRunContextCanceledStopsMidRun(t *testing.T) {
+	w := workloads.CaseStudy()
+	m := cancelTestMachine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	counting := &trace.CountingStream{S: w.TraceStream(0.25)}
+	_, err := m.RunContext(ctx, counting)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want wrapped ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	// The loop checks every ctxCheckMask+1 events; a canceled context
+	// must stop it at the very first check.
+	if counting.N > ctxCheckMask+1 {
+		t.Fatalf("consumed %d events after cancellation, want <= %d", counting.N, ctxCheckMask+1)
+	}
+}
+
+// TestRunContextDeadlineExceeded covers the deadline flavour: an
+// already-expired deadline surfaces context.DeadlineExceeded.
+func TestRunContextDeadlineExceeded(t *testing.T) {
+	w := workloads.CaseStudy()
+	m := cancelTestMachine(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := m.RunContext(ctx, w.TraceStream(0.25)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextBackgroundMatchesRun pins that cancellation support is
+// free of behavioural drift: a run under a never-canceled context is
+// identical to a plain Run.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	w := workloads.CaseStudy()
+	m1 := cancelTestMachine(t)
+	m2 := cancelTestMachine(t)
+	r1, err := m1.Run(w.TraceStream(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.RunContext(context.Background(), w.TraceStream(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Accesses != r2.Accesses {
+		t.Fatalf("RunContext drifted from Run: %+v vs %+v", r2, r1)
+	}
+}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -272,7 +273,27 @@ func (m *Machine) InstSPM() *spm.SPM { return m.iSPM }
 // machine accumulates state across calls (caches stay warm, blocks stay
 // resident); use a fresh Machine per measured run.
 func (m *Machine) Run(s trace.Stream) (Result, error) {
-	return m.run(s, nil)
+	return m.run(nil, s, nil)
+}
+
+// ctxCheckMask throttles cancellation checks in the run loop: the
+// context is polled every ctxCheckMask+1 trace events, keeping the
+// steady-state cost of deadline support to one counter test per event
+// (the hot path stays allocation-free; see AllocsPerRun guards).
+const ctxCheckMask = 4095
+
+// ErrCanceled wraps the context error when a run is stopped by
+// cancellation or deadline; errors.Is sees through it to
+// context.Canceled / context.DeadlineExceeded.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// RunContext is Run with cooperative cancellation: the loop polls ctx
+// every few thousand trace events and abandons the run with an error
+// wrapping ErrCanceled and the context's error once it is done. This is
+// the hook that lets a server-side request deadline actually stop
+// simulation work instead of merely abandoning its result.
+func (m *Machine) RunContext(ctx context.Context, s trace.Stream) (Result, error) {
+	return m.run(ctx, s, nil)
 }
 
 // RunWithPlan executes the trace with scheduled SPM transfers: before
@@ -281,10 +302,16 @@ func (m *Machine) Run(s trace.Stream) (Result, error) {
 // failed to make resident fall back to the on-demand path, so a plan
 // affects cost, never correctness.
 func (m *Machine) RunWithPlan(s trace.Stream, plan *schedule.Plan) (Result, error) {
-	return m.run(s, plan)
+	return m.run(nil, s, plan)
 }
 
-func (m *Machine) run(s trace.Stream, plan *schedule.Plan) (Result, error) {
+// RunWithPlanContext is RunWithPlan with cooperative cancellation (see
+// RunContext).
+func (m *Machine) RunWithPlanContext(ctx context.Context, s trace.Stream, plan *schedule.Plan) (Result, error) {
+	return m.run(ctx, s, plan)
+}
+
+func (m *Machine) run(ctx context.Context, s trace.Stream, plan *schedule.Plan) (Result, error) {
 	var res Result
 	accessIdx := 0
 	planPos := 0
@@ -298,10 +325,17 @@ func (m *Machine) run(s trace.Stream, plan *schedule.Plan) (Result, error) {
 		}
 		strikeRNG = rand.New(rand.NewSource(m.cfg.Injection.Seed))
 	}
+	var events uint64
 	for {
 		e, ok := s.Next()
 		if !ok {
 			break
+		}
+		events++
+		if ctx != nil && events&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("%w after %d events: %w", ErrCanceled, events, err)
+			}
 		}
 		switch e.Kind {
 		case trace.KindCall, trace.KindReturn:
