@@ -13,6 +13,7 @@ import (
 
 	"ftspm"
 	"ftspm/internal/experiments"
+	"ftspm/internal/spm"
 )
 
 // benchOpts trades trace length for wall-clock time; the shapes asserted
@@ -228,6 +229,36 @@ func BenchmarkRunSweep(b *testing.B) {
 			b.Fatalf("sweep rows = %d, want 12", len(sw.Outcomes))
 		}
 	}
+}
+
+// BenchmarkRunSoak times one Monte-Carlo soak campaign — the paper's
+// live-injection stress test — through both engines: "packed" is the
+// bit-parallel SWAR path (internal/simd, up to 64 trials per trace
+// pass), "scalar" forces one full simulation per trial. The two paths
+// produce byte-identical reports (see the lane-equivalence tests); the
+// ratio of these two numbers is the packed engine's speedup.
+func BenchmarkRunSoak(b *testing.B) {
+	run := func(lanes int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			rec := spm.DefaultRecovery()
+			opts := experiments.SoakOptions{
+				Trials: 32, Scale: 0.02, StrikesPerAccess: 0.01, Seed: 1,
+				Recovery: &rec, Lanes: lanes,
+			}
+			for i := 0; i < b.N; i++ {
+				rep, err := experiments.RunSoak(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Trials != opts.Trials || rep.Strikes == 0 {
+					b.Fatalf("degenerate soak report: %+v", rep)
+				}
+			}
+		}
+	}
+	b.Run("packed", run(0))
+	b.Run("scalar", run(1))
 }
 
 // BenchmarkPipeline_SingleRun times the full single-workload pipeline —

@@ -18,8 +18,14 @@
 //	           [-trials 8] [-scale 0.05] [-strike 0.01] [-target data]
 //	           [-scrub 4096] [-policy rollback] [-no-recovery]
 //	           [-wear-fail 0] [-wear-stuck 0] [-seed 1] [-json file]
-//	           [-checkpoint soak.ckpt] [-resume]
+//	           [-lanes 0] [-checkpoint soak.ckpt] [-resume]
 //	           [-workers N] [-retries N] [-job-timeout d]
+//	           [-cpuprofile f] [-memprofile f] [-perfjson f]
+//
+// -lanes controls the bit-parallel packed engine (internal/simd): 0
+// (the default) packs up to 64 trials per trace pass, 1 forces the
+// scalar simulator, 2..64 caps the batch width. Results are identical
+// either way; the knob exists for benchmarking and bisection.
 //
 // Exit status: 0 success, 1 error, 2 bad flags, 3 interrupted (partial
 // reports salvaged; resumable).
@@ -32,7 +38,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"ftspm/internal/campaign"
 	"ftspm/internal/core"
@@ -51,6 +60,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ftspm-soak:", err)
 		os.Exit(campaign.ExitCode(err))
 	}
+}
+
+// soakMeasurement is one BENCH_soak.json "perf" / -perfjson record:
+// the wall-clock and allocation cost of a full RunSoakCampaign, keyed
+// by the lane width so the packed engine's speedup over the scalar
+// simulator is tracked across PRs.
+type soakMeasurement struct {
+	Benchmark  string  `json:"benchmark"`
+	Lanes      int     `json:"lanes"`
+	Trials     int     `json:"trials"`
+	Scale      float64 `json:"scale"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	WallMS     float64 `json:"wall_ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Allocs     uint64  `json:"allocs"`
+}
+
+// appendSoakMeasurement appends one JSON line describing the campaign
+// that just ran (allocation deltas are process-wide, so run with a
+// quiet process for clean numbers). The record is fsynced before close.
+func appendSoakMeasurement(path string, opts experiments.SoakOptions, wall time.Duration, before runtime.MemStats) error {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	m := soakMeasurement{
+		Benchmark:  "RunSoakCampaign",
+		Lanes:      opts.Lanes,
+		Trials:     opts.Trials,
+		Scale:      opts.Scale,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Allocs:     after.Mallocs - before.Mallocs,
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(m); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func parseStructures(s string) ([]core.Structure, error) {
@@ -112,12 +166,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	wearFail := fs.Float64("wear-fail", 0, "per-word STT-RAM transient write-failure probability")
 	wearStuck := fs.Float64("wear-stuck", 0, "per-word-write STT-RAM cell wear-out probability")
 	seed := fs.Int64("seed", 1, "campaign seed")
+	lanes := fs.Int("lanes", 0, "packed-engine lane width: 0 auto (64), 1 scalar, 2..64 explicit")
 	jsonPath := fs.String("json", "", "also write the reports as JSON to this file")
 	checkpoint := fs.String("checkpoint", "", "journal finished trials to this file (crash-safe campaign)")
 	resume := fs.Bool("resume", false, "skip trials already journaled in -checkpoint")
 	workers := fs.Int("workers", 0, "trial worker pool size (0: GOMAXPROCS)")
 	retries := fs.Int("retries", 0, "per-trial retries before a trial is recorded failed")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-trial deadline (0: none)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	perfJSON := fs.String("perfjson", "", "append a campaign wall-clock/allocation measurement to this JSON-lines file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,6 +198,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := cc.Validate(); err != nil {
 		return err
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftspm-soak: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ftspm-soak: memprofile:", err)
+			}
+		}()
+	}
 	structs, err := parseStructures(*structures)
 	if err != nil {
 		return err
@@ -160,6 +243,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		StrikesPerAccess: *strike,
 		Target:           tgt,
 		Seed:             *seed,
+		Lanes:            *lanes,
 	}
 	if !*noRecovery {
 		rec := spm.DefaultRecovery()
@@ -182,9 +266,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "soak: %s, %d trials/structure, scale %.2f, strike %.4g/access on %v (%s)\n",
 		*workload, *trials, *scale, *strike, tgt, mode)
 
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
 	reports, status, runErr := experiments.RunSoakCampaign(ctx, opts, structs, cc)
+	wall := time.Since(start)
 	if reports == nil {
 		return runErr // campaign setup failure (checkpoint, flags)
+	}
+	if *perfJSON != "" && runErr == nil {
+		if err := appendSoakMeasurement(*perfJSON, opts, wall, before); err != nil {
+			return err
+		}
 	}
 	if status.Resumed > 0 {
 		fmt.Fprintf(out, "resumed %d finished trials from %s\n", status.Resumed, *checkpoint)

@@ -1,0 +1,107 @@
+package ecc
+
+// Lane-parallel decode entry points: the SWAR counterpart of Decode for
+// up to 64 independent fault scenarios at once. The packed soak engine
+// (internal/simd) keeps one bit per scenario ("lane") and asks, for a
+// single stored word position, how every lane's codeword would classify
+// — without materializing 64 separate Decode calls.
+//
+// The representation is bit-sliced (transposed): planes[p] holds bit p
+// of every lane's codeword, one lane per bit of the uint64. A syndrome
+// is then a handful of XORs over the planes, shared by all lanes, and
+// the correctable/detected decision becomes bitwise arithmetic on the
+// syndrome planes. Data extraction is deliberately out of scope: the
+// caller falls back to the scalar Decode for the rare lanes that need
+// corrected payloads (miscorrection tracking), which keeps this path
+// pure classification.
+
+// LaneClassifier is implemented by codecs that can classify up to 64
+// codewords at once from a bit-sliced representation. planes[p] carries
+// bit p of each lane's codeword (lane L in bit L); len(planes) must be
+// CodeBits(). Only lanes set in active are classified; the returned
+// masks hold the lanes whose codeword would Decode to Corrected and
+// Detected respectively (never both; lanes in neither are Clean).
+type LaneClassifier interface {
+	ClassifyLanes(planes []uint64, active uint64) (corrected, detected uint64)
+}
+
+var (
+	_ LaneClassifier = (*ParityCodec)(nil)
+	_ LaneClassifier = (*HammingCodec)(nil)
+	_ LaneClassifier = (*RawCodec)(nil)
+	_ LaneClassifier = (*DMRCodec)(nil)
+)
+
+// ClassifyLanes implements LaneClassifier: a parity word is Detected
+// exactly when its total popcount is odd, which bit-sliced is the XOR
+// of every plane.
+func (c *ParityCodec) ClassifyLanes(planes []uint64, active uint64) (corrected, detected uint64) {
+	var odd uint64
+	for _, p := range planes[:c.k+1] {
+		odd ^= p
+	}
+	return 0, odd & active
+}
+
+// ClassifyLanes implements LaneClassifier. Per lane it reproduces the
+// Decode switch: Clean on zero syndrome and even overall parity;
+// Corrected on odd overall parity with a syndrome inside the code
+// (including 0: the overall parity bit itself flipped); Detected
+// otherwise. The syndrome is accumulated as bit-sliced planes — one XOR
+// per codeword position per syndrome bit — and the "syndrome points
+// outside the code" test (s > n) is a bit-sliced magnitude comparator.
+func (c *HammingCodec) ClassifyLanes(planes []uint64, active uint64) (corrected, detected uint64) {
+	// syn[j] holds bit j of every lane's syndrome; overall is the
+	// parity of all stored bits per lane.
+	var syn [8]uint64
+	var overall uint64
+	synBits := 0
+	for (1 << synBits) <= c.n {
+		synBits++
+	}
+	for pos := 0; pos <= c.n; pos++ {
+		p := planes[pos]
+		overall ^= p
+		for j := 0; j < synBits; j++ {
+			if pos&(1<<j) != 0 {
+				syn[j] ^= p
+			}
+		}
+	}
+	var nonzero uint64
+	for j := 0; j < synBits; j++ {
+		nonzero |= syn[j]
+	}
+	// gt: lanes whose syndrome exceeds n (points outside the code, so
+	// the flip count is ≥3 and the word is Detected even with odd
+	// parity). MSB-first compare against the constant n.
+	var gt uint64
+	eq := ^uint64(0)
+	for j := synBits - 1; j >= 0; j-- {
+		if c.n&(1<<j) != 0 {
+			eq &= syn[j]
+		} else {
+			gt |= eq & syn[j]
+			eq &^= syn[j]
+		}
+	}
+	corrected = overall &^ gt
+	detected = (overall & gt) | (^overall & nonzero)
+	return corrected & active, detected & active
+}
+
+// ClassifyLanes implements LaneClassifier: a raw word never observes an
+// error.
+func (c *RawCodec) ClassifyLanes(planes []uint64, active uint64) (corrected, detected uint64) {
+	return 0, 0
+}
+
+// ClassifyLanes implements LaneClassifier: a DMR word is Detected
+// exactly when the two copies differ in any bit position.
+func (c *DMRCodec) ClassifyLanes(planes []uint64, active uint64) (corrected, detected uint64) {
+	var mismatch uint64
+	for i := 0; i < c.k; i++ {
+		mismatch |= planes[i] ^ planes[i+c.k]
+	}
+	return 0, mismatch & active
+}

@@ -1,0 +1,126 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// transposeLanes builds the bit-sliced planes ClassifyLanes consumes
+// from per-lane codewords: planes[p] bit L = bit p of words[L].
+func transposeLanes(words []uint64, codeBits int) []uint64 {
+	planes := make([]uint64, codeBits)
+	for l, w := range words {
+		for p := 0; p < codeBits; p++ {
+			if w>>uint(p)&1 != 0 {
+				planes[p] |= 1 << uint(l)
+			}
+		}
+	}
+	return planes
+}
+
+// checkLanesAgainstScalar cross-checks ClassifyLanes against the scalar
+// Decode for every active lane.
+func checkLanesAgainstScalar(t *testing.T, codec Codec, words []uint64, active uint64) {
+	t.Helper()
+	lc, ok := codec.(LaneClassifier)
+	if !ok {
+		t.Fatalf("%s does not implement LaneClassifier", codec.Name())
+	}
+	planes := transposeLanes(words, codec.CodeBits())
+	corrected, detected := lc.ClassifyLanes(planes, active)
+	if corrected&detected != 0 {
+		t.Fatalf("%s: lanes %#x classified both corrected and detected", codec.Name(), corrected&detected)
+	}
+	if inactive := ^active & (corrected | detected); inactive != 0 {
+		t.Fatalf("%s: inactive lanes %#x classified", codec.Name(), inactive)
+	}
+	for l := range words {
+		if active>>uint(l)&1 == 0 {
+			continue
+		}
+		_, status := codec.Decode(BitsFromUint64(words[l]))
+		var want Status
+		switch {
+		case corrected>>uint(l)&1 != 0:
+			want = Corrected
+		case detected>>uint(l)&1 != 0:
+			want = Detected
+		default:
+			want = Clean
+		}
+		if status != want {
+			t.Fatalf("%s lane %d word %#x: scalar %v, lanes %v", codec.Name(), l, words[l], status, want)
+		}
+	}
+}
+
+// TestClassifyLanesMatchesDecode sweeps every codec with randomized
+// flip clusters over valid codewords, the exact fault shapes the soak
+// engine produces.
+func TestClassifyLanesMatchesDecode(t *testing.T) {
+	codecs := []Codec{
+		MustHamming(32),
+		mustParity(t, 32),
+		mustRaw(t, 32),
+		mustDMR(t, 32),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, codec := range codecs {
+		for round := 0; round < 200; round++ {
+			words := make([]uint64, 64)
+			for l := range words {
+				code := codec.Encode(BitsFromUint64(rng.Uint64() & lowMask(codec.DataBits())))
+				// 0..8 adjacent flips, the MBU cluster envelope.
+				flips := rng.Intn(9)
+				start := rng.Intn(codec.CodeBits())
+				for i := 0; i < flips; i++ {
+					code = code.Flip((start + i) % codec.CodeBits())
+				}
+				words[l] = code.Uint64()
+			}
+			checkLanesAgainstScalar(t, codec, words, rng.Uint64())
+		}
+	}
+}
+
+func mustParity(t *testing.T, k int) Codec {
+	t.Helper()
+	c, err := NewParity(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustRaw(t *testing.T, k int) Codec {
+	t.Helper()
+	c, err := NewRaw(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustDMR(t *testing.T, k int) Codec {
+	t.Helper()
+	c, err := NewDMR(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// FuzzHammingClassifyLanes cross-checks the lane-parallel SEC-DED
+// classification against the scalar codec on arbitrary stored words —
+// including patterns no strike process produces.
+func FuzzHammingClassifyLanes(f *testing.F) {
+	codec := MustHamming(32)
+	f.Add(uint64(0), uint64(1), uint64(3), uint64(1<<38), uint64(0xffffffffff), uint64(42), uint64(7), uint64(1<<20|1), uint64(0xff))
+	f.Add(^uint64(0), uint64(0), uint64(0x5555555555), uint64(0xaaaaaaaaaa), uint64(1), uint64(2), uint64(4), uint64(8), ^uint64(0))
+	f.Fuzz(func(t *testing.T, w0, w1, w2, w3, w4, w5, w6, w7, active uint64) {
+		mask := lowMask(codec.CodeBits())
+		words := []uint64{w0 & mask, w1 & mask, w2 & mask, w3 & mask, w4 & mask, w5 & mask, w6 & mask, w7 & mask}
+		checkLanesAgainstScalar(t, codec, words, active&0xff)
+	})
+}

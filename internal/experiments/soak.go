@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -10,6 +11,7 @@ import (
 	"ftspm/internal/faults"
 	"ftspm/internal/profile"
 	"ftspm/internal/sim"
+	"ftspm/internal/simd"
 	"ftspm/internal/spm"
 	"ftspm/internal/trace"
 	"ftspm/internal/workloads"
@@ -55,6 +57,26 @@ type SoakOptions struct {
 	Thresholds core.Thresholds
 	// Priority selects the MDA optimization target.
 	Priority core.Priority
+	// Lanes caps the packed engine's scenarios per trace pass: 0 (auto)
+	// packs up to 64 trials per pass, 1 forces the scalar path, 2..64
+	// pack that many. Purely a performance knob — per-trial results are
+	// byte-identical either way — so it is excluded from the campaign
+	// config hash (checkpoints stay resumable across lane settings).
+	Lanes int `json:"-"`
+}
+
+// laneWidth resolves the Lanes knob to a batch width.
+func laneWidth(lanes int) int {
+	switch {
+	case lanes == 0:
+		return simd.MaxLanes
+	case lanes < 1:
+		return 1
+	case lanes > simd.MaxLanes:
+		return simd.MaxLanes
+	default:
+		return lanes
+	}
 }
 
 func (o SoakOptions) normalize() SoakOptions {
@@ -192,7 +214,8 @@ func (sh *soakShared) ensure() error {
 }
 
 // soakStructShared is the per-structure lazily-computed state: the spec
-// and MDA placement every trial of that structure replays against.
+// and MDA placement every trial of that structure replays against, and
+// the packed-engine results when the fast path applies.
 type soakStructShared struct {
 	structure core.Structure
 	once      sync.Once
@@ -200,6 +223,96 @@ type soakStructShared struct {
 	place     spm.Placement
 	err       error
 	ready     bool
+	packed    packedState
+}
+
+// packedState memoizes the packed engine's output for one structure.
+// The first trial job to run builds the skeleton and computes every
+// trial of the structure in lane batches; the remaining trial jobs
+// return their cached slot. A configuration the engine rejects flips
+// the state off, and every job falls back to the scalar path.
+type packedState struct {
+	mu   sync.Mutex
+	off  bool
+	done bool
+	res  []soakTrialResult
+}
+
+// trial returns trial t's packed result, computing all trials on first
+// use. ok=false means the packed path does not apply (caller runs the
+// scalar trial). Context errors are returned uncached, so a retried or
+// resumed job recomputes.
+func (ps *packedState) trial(ctx context.Context, w workloads.Workload, spec core.Spec,
+	place spm.Placement, events []trace.Event, opts SoakOptions, t, width int) (soakTrialResult, bool, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.off {
+		return soakTrialResult{}, false, nil
+	}
+	if !ps.done {
+		res, err := packedTrials(ctx, w, spec, place, events, opts, width)
+		if errors.Is(err, simd.ErrUnsupported) {
+			ps.off = true
+			return soakTrialResult{}, false, nil
+		}
+		if err != nil {
+			return soakTrialResult{}, false, err
+		}
+		ps.res = res
+		ps.done = true
+	}
+	return ps.res[t], true, nil
+}
+
+// packedTrials runs every trial of one (workload, structure) soak
+// configuration through the packed engine: one instrumented recording
+// pass, then ⌈Trials/width⌉ packed replays of up to width lanes each.
+// Seeds derive exactly as in runSoakTrial, so the per-trial results are
+// byte-identical to the scalar path.
+func packedTrials(ctx context.Context, w workloads.Workload, spec core.Spec,
+	place spm.Placement, events []trace.Event, opts SoakOptions, width int) ([]soakTrialResult, error) {
+	cfg := spec.SimConfig(place)
+	if opts.Recovery != nil {
+		rc := *opts.Recovery
+		cfg.Recovery = &rc
+	}
+	sk, err := simd.BuildSkeleton(ctx, w.Program(), cfg, events)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := simd.NewEngine(sk, simd.Injection{
+		StrikesPerAccess: opts.StrikesPerAccess,
+		Dist:             opts.Dist,
+		Target:           opts.Target,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]soakTrialResult, opts.Trials)
+	seeds := make([]int64, 0, width)
+	batch := make([]simd.TrialResult, width)
+	for t0 := 0; t0 < opts.Trials; t0 += width {
+		n := width
+		if t0+n > opts.Trials {
+			n = opts.Trials - t0
+		}
+		seeds = seeds[:0]
+		for i := 0; i < n; i++ {
+			seeds = append(seeds, opts.Seed+int64(t0+i)*soakTrialStride)
+		}
+		if err := eng.RunBatch(ctx, seeds, batch[:n]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out[t0+i] = soakTrialResult{
+				Accesses: batch[i].Accesses,
+				Strikes:  batch[i].Strikes,
+				Recovery: batch[i].Recovery,
+				Audit:    batch[i].Audit,
+			}
+		}
+	}
+	return out, nil
 }
 
 func (ss *soakStructShared) ensure(sh *soakShared) error {
@@ -228,6 +341,12 @@ func (ss *soakStructShared) ensure(sh *soakShared) error {
 	}
 	return nil
 }
+
+// soakTrialStride derives trial t's injection seed as Seed + t*stride
+// (prime: keeps per-trial seeds distinct). The packed and scalar paths
+// share it, which is what makes their per-trial results comparable at
+// all.
+const soakTrialStride = 1_000_003
 
 // soakJobID is the deterministic identity of one (structure, trial)
 // job; workload, scale, seed, and every other knob are carried by the
@@ -312,6 +431,18 @@ func RunSoakCampaign(ctx context.Context, base SoakOptions, structures []core.St
 					if err := ss.ensure(sh); err != nil {
 						return soakTrialResult{}, err
 					}
+					// Packed fast path: with no wear model, up to 64
+					// trials advance through one trace pass. Unsupported
+					// configurations fall back to the scalar simulator.
+					if width := laneWidth(opts.Lanes); width > 1 && opts.Wear == nil {
+						res, ok, err := ss.packed.trial(jctx, w, ss.spec, ss.place, sh.events, opts, t, width)
+						if err != nil {
+							return soakTrialResult{}, fmt.Errorf("experiments: soak trial %d: %w", t, err)
+						}
+						if ok {
+							return res, nil
+						}
+					}
 					res, err := runSoakTrial(jctx, w, ss.spec, ss.place, sh.events, opts, t)
 					if err != nil {
 						return soakTrialResult{}, fmt.Errorf("experiments: soak trial %d: %w", t, err)
@@ -372,13 +503,12 @@ func aggregateSoak(workload string, s core.Structure, planned int, trials []soak
 // simulation loop polls ctx, so a per-job deadline stops it promptly.
 func runSoakTrial(ctx context.Context, w workloads.Workload, spec core.Spec, place spm.Placement,
 	events []trace.Event, opts SoakOptions, t int) (soakTrialResult, error) {
-	const trialStride = 1_000_003 // prime: keeps per-trial seeds distinct
 	cfg := spec.SimConfig(place)
 	if opts.StrikesPerAccess > 0 {
 		cfg.Injection = &sim.InjectionConfig{
 			StrikesPerAccess: opts.StrikesPerAccess,
 			Dist:             opts.Dist,
-			Seed:             opts.Seed + int64(t)*trialStride,
+			Seed:             opts.Seed + int64(t)*soakTrialStride,
 			Target:           opts.Target,
 		}
 	}
@@ -388,7 +518,7 @@ func runSoakTrial(ctx context.Context, w workloads.Workload, spec core.Spec, pla
 	}
 	if opts.Wear != nil {
 		wc := *opts.Wear
-		wc.Seed = opts.Seed + wc.Seed + int64(t)*trialStride + 1
+		wc.Seed = opts.Seed + wc.Seed + int64(t)*soakTrialStride + 1
 		cfg.Wear = &wc
 	}
 	m, err := sim.New(w.Program(), cfg)

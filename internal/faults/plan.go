@@ -1,0 +1,75 @@
+package faults
+
+import "math/rand"
+
+// Batched per-lane strike planning for the packed soak engine
+// (internal/simd). A live campaign draws each strike's location and
+// multiplicity from the lane's RNG at access time; the packed engine
+// instead precomputes a lane's entire strike schedule up front, which
+// is possible because the struck surface (stored code bits per region)
+// is static for a whole run. PlanStrike replays the exact draw sequence
+// of spm.SPM.InjectStrike + Region.InjectStrike, so a schedule built
+// here lands bit-for-bit the same flips the scalar path would.
+
+// RegionSurface describes one region of a strike surface: its word
+// count, stored bits per word, and whether its cells absorb strikes
+// (STT-RAM immunity).
+type RegionSurface struct {
+	Words    int
+	CodeBits int
+	Immune   bool
+}
+
+// SurfaceBits returns the total stored bits of the surface — the
+// denominator of the strike location draw (spm.SPM.StoredBits).
+func SurfaceBits(regions []RegionSurface) int {
+	total := 0
+	for _, r := range regions {
+		total += r.Words * r.CodeBits
+	}
+	return total
+}
+
+// PlannedStrike is one precomputed strike: the struck region and word,
+// and the cluster of flipped bits as a mask over the word's codeword
+// (bit i of Delta flips code bit i). Delta is zero for strikes absorbed
+// by an immune region — the strike still happened (it is counted), it
+// just flipped nothing.
+type PlannedStrike struct {
+	Region int
+	Word   int
+	Delta  uint64
+}
+
+// PlanStrike draws one strike against the surface, consuming rng in
+// exactly the order the live injection path does: the bit-weighted
+// location pick, then the multiplicity sample, then — only for
+// non-immune regions — the cluster start. The surface's total bits are
+// passed in so per-strike planning stays O(regions). Requires
+// CodeBits ≤ 64 for every region (every codec in this module fits);
+// totalBits must be positive.
+func PlanStrike(rng *rand.Rand, regions []RegionSurface, totalBits int, dist MBUDistribution) PlannedStrike {
+	pick := rng.Intn(totalBits)
+	for idx, r := range regions {
+		bits := r.Words * r.CodeBits
+		if pick >= bits {
+			pick -= bits
+			continue
+		}
+		word := pick / r.CodeBits
+		mult := dist.Sample(rng)
+		if r.Immune {
+			return PlannedStrike{Region: idx, Word: word}
+		}
+		if mult > r.CodeBits {
+			mult = r.CodeBits
+		}
+		start := rng.Intn(r.CodeBits)
+		var delta uint64
+		for i := 0; i < mult; i++ {
+			delta ^= 1 << uint((start+i)%r.CodeBits)
+		}
+		return PlannedStrike{Region: idx, Word: word, Delta: delta}
+	}
+	return PlannedStrike{Region: -1} // unreachable with a consistent totalBits
+}

@@ -96,6 +96,10 @@ type SoakRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// NoRecovery runs the detection-only baseline.
 	NoRecovery bool `json:"no_recovery,omitempty"`
+	// Lanes caps the packed engine's batch width: 0 auto-packs up to
+	// 64 trials per trace pass, 1 forces the scalar simulator. The
+	// results are identical either way.
+	Lanes int `json:"lanes,omitempty"`
 	// Workers, Retries, JobTimeoutMS, Checkpoint, Resume: as in
 	// SweepRequest.
 	Workers      int    `json:"workers,omitempty"`

@@ -40,6 +40,11 @@ func soakParams(checkpoint string, resume bool) server.SoakRequest {
 		Workers:    1,
 		Checkpoint: checkpoint,
 		Resume:     resume,
+		// Scalar path: drain must land while trials are still in
+		// flight, and the packed engine finishes all 8 in one trace
+		// pass before the Drain call can race it. Packed/scalar output
+		// equivalence is pinned by experiments' lane tests.
+		Lanes: 1,
 	}
 }
 

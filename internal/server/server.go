@@ -346,6 +346,7 @@ func (s *Server) handleSoak(w http.ResponseWriter, r *http.Request) {
 		Scale:            req.Scale,
 		StrikesPerAccess: strike,
 		Seed:             req.Seed,
+		Lanes:            req.Lanes,
 	}
 	if !req.NoRecovery {
 		rec := spm.DefaultRecovery()

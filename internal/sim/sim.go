@@ -184,6 +184,7 @@ type Machine struct {
 	dSPM   *spm.SPM
 	iCtl   *spm.Controller
 	dCtl   *spm.Controller
+	probe  func() // fired once per access event, before strike injection
 }
 
 // ErrNilProgram rejects machine construction without a program image.
@@ -269,6 +270,20 @@ func (m *Machine) DataSPM() *spm.SPM { return m.dSPM }
 // InstSPM exposes the instruction scratchpad.
 func (m *Machine) InstSPM() *spm.SPM { return m.iSPM }
 
+// InstController exposes the instruction-SPM mapping controller, for
+// instruments that attach an op recorder (spm.OpRecorder).
+func (m *Machine) InstController() *spm.Controller { return m.iCtl }
+
+// DataController exposes the data-SPM mapping controller.
+func (m *Machine) DataController() *spm.Controller { return m.dCtl }
+
+// SetAccessProbe installs a callback fired once per access event, after
+// scheduled plan commands apply and before any strike injection — i.e.
+// at the exact point in the event stream where the injection RNG would
+// be consulted. The packed soak engine uses it to align recorded ops
+// with strike schedules. Nil detaches.
+func (m *Machine) SetAccessProbe(fn func()) { m.probe = fn }
+
 // Run executes the trace to completion and returns the accounting. A
 // machine accumulates state across calls (caches stay warm, blocks stay
 // resident); use a fresh Machine per measured run.
@@ -352,6 +367,9 @@ func (m *Machine) run(ctx context.Context, s trace.Stream, plan *schedule.Plan) 
 				}
 			}
 			accessIdx++
+			if m.probe != nil {
+				m.probe()
+			}
 			if strikeRNG != nil && strikeRNG.Float64() < m.cfg.Injection.StrikesPerAccess {
 				if _, err := m.strikeTarget(strikeRNG).InjectStrike(strikeRNG, m.cfg.Injection.Dist); err != nil {
 					return Result{}, fmt.Errorf("sim: injection: %w", err)

@@ -1,0 +1,487 @@
+package simd
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"ftspm/internal/dram"
+	"ftspm/internal/ecc"
+	"ftspm/internal/faults"
+	"ftspm/internal/sim"
+	"ftspm/internal/spm"
+)
+
+// MaxLanes is the scenario capacity of one packed batch: one scenario
+// per bit of the lane words.
+const MaxLanes = 64
+
+// Injection parameterizes the strike process shared by all lanes; each
+// lane draws from its own RNG stream (the per-trial seed), so lanes are
+// statistically independent scenarios of the same process.
+type Injection struct {
+	// StrikesPerAccess is the per-access strike probability
+	// (sim.InjectionConfig.StrikesPerAccess).
+	StrikesPerAccess float64
+	// Dist gives strike multiplicities.
+	Dist faults.MBUDistribution
+	// Target selects the struck SPM(s).
+	Target sim.InjectionTarget
+}
+
+// TrialResult is one lane's outcome, bit-identical to what the scalar
+// simulator reports for the same seed.
+type TrialResult struct {
+	Accesses uint64
+	Strikes  uint64
+	Recovery spm.RecoveryStats
+	Audit    faults.Tally
+}
+
+// strike is one scheduled fault for one lane: flip delta into the
+// region's word just before the ops of access atAccess.
+type strike struct {
+	atAccess uint32
+	region   int32
+	word     int32
+	delta    uint64
+}
+
+// Engine replays a skeleton under up to 64 strike scenarios at once.
+// All mutable state is preallocated at construction and reused across
+// batches: steady-state RunBatch performs no allocations.
+type Engine struct {
+	sk  *Skeleton
+	inj Injection
+
+	// Per-region fault state, nil for immune regions. delta holds each
+	// lane's stored-codeword XOR against the fault-free codeword
+	// (delta[w*64+L]); mask[w] has bit L set iff lane L's delta at word
+	// w is non-zero; base[w] is the fault-free codeword and golden[w]
+	// its payload, shared by all lanes (the shared trajectory writes
+	// the same values everywhere).
+	delta  [][]uint64
+	mask   [][]uint64
+	base   [][]uint64
+	golden [][]uint32
+	zero   []uint64 // per-region power-on codeword
+
+	rngs   [MaxLanes]*rand.Rand
+	sched  [MaxLanes][]strike
+	cursor [MaxLanes]int
+
+	strikes [MaxLanes]uint64
+	stats   [MaxLanes]spm.RecoveryStats
+	tally   [MaxLanes]faults.Tally
+	planes  [MaxLanes]uint64
+}
+
+// NewEngine builds an engine over the skeleton. The injection is
+// validated the same way the scalar simulator validates its
+// InjectionConfig (a zero StrikesPerAccess disables strikes).
+func NewEngine(sk *Skeleton, inj Injection) (*Engine, error) {
+	if inj.StrikesPerAccess > 0 {
+		if err := inj.Dist.Validate(); err != nil {
+			return nil, fmt.Errorf("simd: injection: %w", err)
+		}
+		if !inj.Target.Valid() {
+			return nil, fmt.Errorf("simd: injection: unknown target %d", int(inj.Target))
+		}
+	}
+	e := &Engine{sk: sk, inj: inj}
+	e.delta = make([][]uint64, len(sk.regions))
+	e.mask = make([][]uint64, len(sk.regions))
+	e.base = make([][]uint64, len(sk.regions))
+	e.golden = make([][]uint32, len(sk.regions))
+	e.zero = make([]uint64, len(sk.regions))
+	for i := range sk.regions {
+		rs := &sk.regions[i]
+		if rs.immune {
+			continue
+		}
+		e.delta[i] = make([]uint64, rs.words*MaxLanes)
+		e.mask[i] = make([]uint64, rs.words)
+		e.base[i] = make([]uint64, rs.words)
+		e.golden[i] = make([]uint32, rs.words)
+		e.zero[i] = rs.codec.Encode(ecc.BitsFromUint64(0)).Uint64()
+	}
+	for l := range e.rngs {
+		e.rngs[l] = rand.New(rand.NewSource(0))
+	}
+	return e, nil
+}
+
+// reset returns all shared and per-lane state to power-on.
+func (e *Engine) reset(lanes int) {
+	for r := range e.sk.regions {
+		if e.mask[r] == nil {
+			continue
+		}
+		mask, delta := e.mask[r], e.delta[r]
+		for w, m := range mask {
+			if m == 0 {
+				continue
+			}
+			for off := w * MaxLanes; m != 0; m &= m - 1 {
+				delta[off+bits.TrailingZeros64(m)] = 0
+			}
+			mask[w] = 0
+		}
+		base, golden, zero := e.base[r], e.golden[r], e.zero[r]
+		for w := range base {
+			base[w] = zero
+			golden[w] = 0
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		e.cursor[l] = 0
+		e.strikes[l] = 0
+		e.stats[l] = spm.RecoveryStats{}
+		e.tally[l] = faults.Tally{}
+	}
+}
+
+// plan precomputes lane l's strike schedule by replaying the exact RNG
+// draw sequence of the scalar injection path over the whole run: the
+// struck surface is static, so strike placement is independent of the
+// fault state. Immune-absorbed strikes are counted but not scheduled.
+func (e *Engine) plan(l int, seed int64) {
+	rng := e.rngs[l]
+	rng.Seed(seed)
+	sched := e.sched[l][:0]
+	sk := e.sk
+	p := e.inj.StrikesPerAccess
+	for a := uint64(1); a <= sk.accesses; a++ {
+		if rng.Float64() >= p {
+			continue
+		}
+		e.strikes[l]++
+		surf, total, off := sk.dSurf, sk.dBits, sk.dOff
+		switch e.inj.Target {
+		case sim.TargetInstSPM:
+			surf, total, off = sk.iSurf, sk.iBits, sk.iOff
+		case sim.TargetBothSPMs:
+			if t := sk.iBits + sk.dBits; t > 0 && rng.Intn(t) < sk.iBits {
+				surf, total, off = sk.iSurf, sk.iBits, sk.iOff
+			}
+		}
+		ps := faults.PlanStrike(rng, surf, total, e.inj.Dist)
+		if ps.Delta == 0 {
+			continue
+		}
+		sched = append(sched, strike{
+			atAccess: uint32(a), region: int32(off + ps.Region),
+			word: int32(ps.Word), delta: ps.Delta,
+		})
+	}
+	e.sched[l] = sched
+}
+
+func (e *Engine) applyStrike(l int, s *strike) {
+	d := &e.delta[s.region][int(s.word)*MaxLanes+l]
+	*d ^= s.delta
+	if *d != 0 {
+		e.mask[s.region][s.word] |= 1 << uint(l)
+	} else {
+		e.mask[s.region][s.word] &^= 1 << uint(l)
+	}
+}
+
+// classify builds the bit-sliced planes for one faulted word and runs
+// the region's lane-parallel decoder over the faulted lanes. Lanes
+// outside the mask hold the fault-free codeword and are trivially
+// clean, so only faulted lanes are active.
+func (e *Engine) classify(r int, w int) (corrected, detected uint64) {
+	rs := &e.sk.regions[r]
+	m := e.mask[r][w]
+	base := e.base[r][w]
+	for p := 0; p < rs.codeBits; p++ {
+		// Broadcast the fault-free codeword bit across all lanes.
+		e.planes[p] = -(base >> uint(p) & 1)
+	}
+	delta := e.delta[r]
+	for mm := m; mm != 0; mm &= mm - 1 {
+		l := bits.TrailingZeros64(mm)
+		for d := delta[w*MaxLanes+l]; d != 0; d &= d - 1 {
+			e.planes[bits.TrailingZeros64(d)] ^= 1 << uint(l)
+		}
+	}
+	return rs.lanes.ClassifyLanes(e.planes[:rs.codeBits], m)
+}
+
+// repair replicates the scalar scrub-on-read store: the stored word
+// becomes the re-encoding of whatever the decoder extracted — zero
+// delta for a true correction, a latent miscorrection otherwise.
+func (e *Engine) repair(r, w, l int) {
+	rs := &e.sk.regions[r]
+	base := e.base[r][w]
+	d := &e.delta[r][w*MaxLanes+l]
+	data, _ := rs.codec.Decode(ecc.BitsFromUint64(base ^ *d))
+	*d = rs.codec.Encode(data).Uint64() ^ base
+	if *d == 0 {
+		e.mask[r][w] &^= 1 << uint(l)
+	}
+}
+
+// clearLane zeroes one lane's delta at a word (re-fetch, rollback,
+// restore: the stored word returns to the fault-free codeword).
+func (e *Engine) clearLane(r, w, l int) {
+	e.delta[r][w*MaxLanes+l] = 0
+	e.mask[r][w] &^= 1 << uint(l)
+}
+
+// runWrite replays an exact encode of address-derived values: all
+// lanes' words become the same fault-free codeword, wiping any deltas.
+func (e *Engine) runWrite(o *op) {
+	r := int(o.region)
+	rs := &e.sk.regions[r]
+	base, golden, mask, delta := e.base[r], e.golden[r], e.mask[r], e.delta[r]
+	for i := 0; i < int(o.words); i++ {
+		w := int(o.word) + i
+		v := dram.Value(o.addrW + uint32(i))
+		golden[w] = v
+		base[w] = rs.codec.Encode(ecc.BitsFromUint64(uint64(v))).Uint64()
+		if m := mask[w]; m != 0 {
+			for off := w * MaxLanes; m != 0; m &= m - 1 {
+				delta[off+bits.TrailingZeros64(m)] = 0
+			}
+			mask[w] = 0
+		}
+	}
+}
+
+// runAccessRead replays a checked read on the program access path:
+// corrected lanes count a DRE and repair in place, detected lanes
+// trigger DUE recovery per the block's dirty state and the policy.
+func (e *Engine) runAccessRead(o *op) {
+	r := int(o.region)
+	rs := &e.sk.regions[r]
+	sk := e.sk
+	for i := 0; i < int(o.words); i++ {
+		w := int(o.word) + i
+		if e.mask[r][w] == 0 {
+			continue
+		}
+		corrected, detected := e.classify(r, w)
+		for m := corrected; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			e.stats[l].CorrectedOnAccess++
+			e.repair(r, w, l)
+		}
+		for m := detected; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			st := &e.stats[l]
+			switch {
+			case !sk.recoveryOn:
+				st.UnrecoveredDUEs++
+			case o.dirty && sk.recovery.DirtyPolicy == spm.DUERollback:
+				st.Rollbacks++
+				st.RecoveryCycles += rs.restore + sk.recovery.RollbackCycles
+				e.clearLane(r, w, l)
+			case o.dirty:
+				st.SDCEscalations++
+			default:
+				// Clean block: the re-fetch rewrites the exact stored
+				// value, so the verify read always succeeds first try.
+				st.RefetchedWords++
+				st.RecoveryCycles += rs.refetch
+				e.clearLane(r, w, l)
+			}
+		}
+	}
+}
+
+// runEvictRead replays a write-back read whose detection outcome the
+// controller drops: corrections still repair the stored word, detected
+// errors trigger nothing.
+func (e *Engine) runEvictRead(o *op) {
+	r := int(o.region)
+	for i := 0; i < int(o.words); i++ {
+		w := int(o.word) + i
+		if e.mask[r][w] == 0 {
+			continue
+		}
+		corrected, _ := e.classify(r, w)
+		for m := corrected; m != 0; m &= m - 1 {
+			e.repair(r, w, bits.TrailingZeros64(m))
+		}
+	}
+}
+
+// runScrub replays one background scrub walk using the recorded
+// residency snapshot: corrected words are repaired in place, detected
+// words recover per their residency class at scrub time.
+func (e *Engine) runScrub(o *op) {
+	snap := e.sk.snaps[o.snap]
+	sk := e.sk
+	for r := range snap {
+		classes := snap[r]
+		if classes == nil {
+			continue
+		}
+		rs := &sk.regions[r]
+		mask := e.mask[r]
+		for w, m := range mask {
+			if m == 0 {
+				continue
+			}
+			corrected, detected := e.classify(r, w)
+			for cm := corrected; cm != 0; cm &= cm - 1 {
+				l := bits.TrailingZeros64(cm)
+				e.stats[l].ScrubRepairs++
+				e.stats[l].RecoveryCycles += rs.repair
+				e.repair(r, w, l)
+			}
+			for dm := detected; dm != 0; dm &= dm - 1 {
+				l := bits.TrailingZeros64(dm)
+				st := &e.stats[l]
+				switch classes[w] {
+				case spm.ScrubWordClean:
+					st.ScrubRefetches++
+					st.RecoveryCycles += rs.refetch
+					e.clearLane(r, w, l)
+				case spm.ScrubWordDirty:
+					if sk.recovery.DirtyPolicy == spm.DUERollback {
+						st.ScrubRestores++
+						st.RecoveryCycles += rs.restore + sk.recovery.RollbackCycles
+						e.clearLane(r, w, l)
+					} else {
+						st.ScrubDUEs++
+					}
+				default: // ScrubWordFree
+					st.ScrubRestores++
+					st.RecoveryCycles += rs.restore
+					e.clearLane(r, w, l)
+				}
+			}
+		}
+	}
+}
+
+// audit classifies every faulted (word, lane) against the golden
+// payload, adjusting each lane's tally away from the all-Benign
+// fault-free baseline.
+func (e *Engine) audit() {
+	for r := range e.sk.regions {
+		mask := e.mask[r]
+		if mask == nil {
+			continue
+		}
+		rs := &e.sk.regions[r]
+		base, golden, delta := e.base[r], e.golden[r], e.delta[r]
+		for w, m := range mask {
+			for ; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				t := &e.tally[l]
+				t.Benign--
+				data, status := rs.codec.Decode(ecc.BitsFromUint64(base[w] ^ delta[w*MaxLanes+l]))
+				intact := uint32(data.Uint64()) == golden[w]
+				switch status {
+				case ecc.Corrected:
+					if intact {
+						t.DRE++
+					} else {
+						t.SDC++
+					}
+				case ecc.Detected:
+					t.DUE++
+				default:
+					if intact {
+						t.Benign++
+					} else {
+						t.SDC++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ctxStride throttles cancellation checks to match the scalar run
+// loop's per-event polling granularity.
+const ctxStride = 4096
+
+// RunBatch executes one packed batch: lane l runs the skeleton's
+// trajectory under the strike scenario seeded by seeds[l], and out[l]
+// receives its result. len(seeds) must be 1..MaxLanes and len(out) at
+// least len(seeds). Cancellation returns an error wrapping
+// sim.ErrCanceled, like the scalar simulator.
+func (e *Engine) RunBatch(ctx context.Context, seeds []int64, out []TrialResult) error {
+	lanes := len(seeds)
+	if lanes == 0 || lanes > MaxLanes {
+		return fmt.Errorf("simd: batch of %d lanes (want 1..%d)", lanes, MaxLanes)
+	}
+	if len(out) < lanes {
+		return fmt.Errorf("simd: %d result slots for %d lanes", len(out), lanes)
+	}
+	e.reset(lanes)
+	if e.inj.StrikesPerAccess > 0 {
+		for l := 0; l < lanes; l++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("%w while planning lane %d: %w", sim.ErrCanceled, l, err)
+				}
+			}
+			e.plan(l, seeds[l])
+		}
+	}
+
+	sk := e.sk
+	for i := range sk.ops {
+		o := &sk.ops[i]
+		if ctx != nil && i%ctxStride == ctxStride-1 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w after %d ops: %w", sim.ErrCanceled, i, err)
+			}
+		}
+		for l := 0; l < lanes; l++ {
+			sc := e.sched[l]
+			cur := e.cursor[l]
+			for cur < len(sc) && sc[cur].atAccess <= o.atAccess {
+				e.applyStrike(l, &sc[cur])
+				cur++
+			}
+			e.cursor[l] = cur
+		}
+		switch o.kind {
+		case opWrite:
+			e.runWrite(o)
+		case opAccessRead:
+			e.runAccessRead(o)
+		case opEvictRead:
+			e.runEvictRead(o)
+		case opScrub:
+			e.runScrub(o)
+		}
+	}
+	// Strikes landing after the last recorded op still corrupt state
+	// the end-of-run audit sees.
+	for l := 0; l < lanes; l++ {
+		sc := e.sched[l]
+		for cur := e.cursor[l]; cur < len(sc); cur++ {
+			e.applyStrike(l, &sc[cur])
+		}
+		e.cursor[l] = len(sc)
+	}
+
+	for l := 0; l < lanes; l++ {
+		e.tally[l].Benign = sk.baseBenign
+	}
+	e.audit()
+
+	for l := 0; l < lanes; l++ {
+		rec := sk.base
+		rec.Add(e.stats[l])
+		out[l] = TrialResult{
+			Accesses: sk.accesses,
+			Strikes:  e.strikes[l],
+			Recovery: rec,
+			Audit:    e.tally[l],
+		}
+	}
+	return nil
+}
+
+// Lanes returns the batch capacity.
+func (e *Engine) Lanes() int { return MaxLanes }

@@ -153,6 +153,11 @@ type Controller struct {
 	recoveryOn  bool
 	faultCounts []int // dense BlockID → permanent-fault evidence
 	sinceScrub  uint64
+
+	// rec, when non-nil, observes every codeword-level operation so the
+	// packed soak engine can replay this controller's trajectory
+	// (recorder.go). One nil check per operation when detached.
+	rec OpRecorder
 }
 
 // NewController validates the placement against the SPM geometry and
@@ -341,6 +346,9 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 		for i := range values {
 			values[i] = dram.Value(base/memtech.WordBytes + uint32(i))
 		}
+		if c.rec != nil {
+			c.rec.RecordWrite(res.region, wordIdx, words, base/memtech.WordBytes)
+		}
 		var oc WriteOutcome
 		accessCycles, oc, err = r.WriteChecked(wordIdx, values)
 		res.dirty = true
@@ -349,6 +357,9 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 			c.noteWriteFaults(id, oc)
 		}
 	} else {
+		if c.rec != nil {
+			c.rec.RecordAccessRead(res.region, wordIdx, words, res.dirty)
+		}
 		var oc ReadOutcome
 		_, accessCycles, oc, err = r.ReadChecked(wordIdx, words)
 		c.perKind[kind].Reads++
@@ -386,6 +397,9 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 // accounting: retries are transient (already charged by the region),
 // failed words are permanent-fault evidence against the block.
 func (c *Controller) noteWriteFaults(id program.BlockID, oc WriteOutcome) {
+	if c.rec != nil && (oc.Retries > 0 || len(oc.Failed) > 0) {
+		c.rec.RecordUnsupported("write-verify fault")
+	}
 	c.stats.Recovery.WriteRetries += uint64(oc.Retries)
 	if len(oc.Failed) > 0 {
 		c.stats.Recovery.StuckWordEvents += uint64(len(oc.Failed))
@@ -422,6 +436,9 @@ func (c *Controller) Unmap(id program.BlockID) (memtech.Cycles, error) {
 	r := c.regions[res.region]
 	var cycles memtech.Cycles
 	if res.dirty {
+		if c.rec != nil {
+			c.rec.RecordEvictRead(res.region, res.baseWord, res.words)
+		}
 		_, readCycles, err := r.Read(res.baseWord, res.words)
 		if err != nil {
 			return 0, err
@@ -464,6 +481,9 @@ func (c *Controller) ensureResident(id program.BlockID) (*residency, memtech.Cyc
 	values := c.values(words)
 	for i := range values {
 		values[i] = dram.Value(b.Addr/memtech.WordBytes + uint32(i))
+	}
+	if c.rec != nil {
+		c.rec.RecordWrite(regionIdx, base, words, b.Addr/memtech.WordBytes)
 	}
 	regionCycles, oc, err := r.WriteChecked(base, values)
 	if err != nil {
@@ -539,6 +559,9 @@ func (c *Controller) evictLRU(regionIdx int) (bool, memtech.Cycles, error) {
 	r := c.regions[regionIdx]
 	var cycles memtech.Cycles
 	if vres.dirty {
+		if c.rec != nil {
+			c.rec.RecordEvictRead(regionIdx, vres.baseWord, vres.words)
+		}
 		_, readCycles, err := r.Read(vres.baseWord, vres.words)
 		if err != nil {
 			return false, 0, err
@@ -623,6 +646,9 @@ func (c *Controller) refetchWord(r *Region, res *residency, blockAddr uint32, w 
 // rewritten from their last stored payload (their content is dead, but
 // clearing the latent error keeps it from surfacing later).
 func (c *Controller) runScrub() (memtech.Cycles, error) {
+	if c.rec != nil {
+		c.rec.RecordScrub(c.scrubClasses())
+	}
 	st := &c.stats.Recovery
 	st.ScrubRuns++
 	var cycles memtech.Cycles
@@ -691,6 +717,9 @@ func (c *Controller) residentAt(regionIdx, word int) (program.BlockID, *residenc
 // data, not the corrupt cells) and charges the source read, the
 // destination write, and any eviction the allocation needs.
 func (c *Controller) degrade(id program.BlockID) (memtech.Cycles, error) {
+	if c.rec != nil {
+		c.rec.RecordUnsupported("graceful degradation")
+	}
 	if !c.IsResident(id) {
 		c.faultCounts[id] = 0
 		return 0, nil

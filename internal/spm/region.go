@@ -223,6 +223,11 @@ func NewRegion(kind RegionKind, sizeBytes int) (*Region, error) {
 // Kind returns the region's protection kind.
 func (r *Region) Kind() RegionKind { return r.kind }
 
+// Codec returns the region's live error-coding codec, shared with the
+// packed soak engine so its lane-parallel classification and the stored
+// words stay codeword-compatible by construction.
+func (r *Region) Codec() ecc.Codec { return r.codec }
+
 // Bank returns the region's technology parameters.
 func (r *Region) Bank() memtech.Bank { return r.bank }
 

@@ -1,0 +1,92 @@
+// Golden soak-campaign test: the committed BENCH_soak.json baseline
+// must reproduce exactly through BOTH soak engines — the scalar
+// simulator and the bit-parallel packed engine (internal/simd). This is
+// the repo-level seal on the packed engine's correctness contract: its
+// reports are byte-identical to the scalar path's, and both match the
+// committed artifact bit for bit.
+package ftspm_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"ftspm/internal/core"
+	"ftspm/internal/experiments"
+	"ftspm/internal/spm"
+)
+
+// goldenSoakOptions mirrors BENCH_soak.json's recorded command:
+// go run ./cmd/ftspm-soak -trials 8 -scale 0.05 -strike 0.01 -seed 1.
+func goldenSoakOptions(lanes int) experiments.SoakOptions {
+	rec := spm.DefaultRecovery()
+	return experiments.SoakOptions{
+		Trials: 8, Scale: 0.05, StrikesPerAccess: 0.01, Seed: 1,
+		Recovery: &rec, Lanes: lanes,
+	}
+}
+
+var goldenSoakStructures = []core.Structure{
+	core.StructFTSPM, core.StructPureSRAM, core.StructPureSTT,
+}
+
+func runGoldenSoak(t *testing.T, lanes int) [][]byte {
+	t.Helper()
+	reports, status, err := experiments.RunSoakCampaign(
+		context.Background(), goldenSoakOptions(lanes), goldenSoakStructures,
+		experiments.CampaignConfig{})
+	if err != nil {
+		t.Fatalf("lanes=%d: %v", lanes, err)
+	}
+	if f := status.FirstFailure(); f != nil {
+		t.Fatalf("lanes=%d: %v", lanes, f)
+	}
+	out := make([][]byte, len(reports))
+	for i, rep := range reports {
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = blob
+	}
+	return out
+}
+
+func TestSoakGoldenBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden soak campaign in -short mode")
+	}
+	raw, err := os.ReadFile("BENCH_soak.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden struct {
+		Command string            `json:"command"`
+		Reports []json.RawMessage `json:"reports"`
+	}
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if len(golden.Reports) != len(goldenSoakStructures) {
+		t.Fatalf("BENCH_soak.json has %d reports, want %d", len(golden.Reports), len(goldenSoakStructures))
+	}
+
+	packed := runGoldenSoak(t, 0)
+	scalar := runGoldenSoak(t, 1)
+	for i, s := range goldenSoakStructures {
+		var want bytes.Buffer
+		if err := json.Compact(&want, golden.Reports[i]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(packed[i], scalar[i]) {
+			t.Errorf("%v: packed and scalar reports diverge:\npacked: %s\nscalar: %s",
+				s, packed[i], scalar[i])
+		}
+		if !bytes.Equal(packed[i], want.Bytes()) {
+			t.Errorf("%v: packed report drifted from BENCH_soak.json:\ngot:  %s\nwant: %s",
+				s, packed[i], want.Bytes())
+		}
+	}
+}
