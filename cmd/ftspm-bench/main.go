@@ -13,7 +13,14 @@
 //
 //	ftspm-bench [-scale 0.25] [-out results] [-json file]
 //	            [-checkpoint sweep.ckpt] [-resume]
-//	            [-workers N] [-retries N] [-job-timeout d]
+//	            [-parallel N] [-retries N] [-job-timeout d]
+//	            [-workers host1:8077,host2:8077] [-lease 60s]
+//
+// With -workers the sweep campaign is sharded across the listed ftspmd
+// daemons by the distributed fabric (internal/fabric); the merged sweep
+// and its -checkpoint journal are byte-identical to a single-node run.
+// The single-machine experiments (tables, case study, ablations) always
+// run locally.
 //
 // Exit status: 0 success, 1 error, 2 bad flags, 3 interrupted (partial
 // results salvaged; resumable).
@@ -34,6 +41,7 @@ import (
 
 	"ftspm/internal/campaign"
 	"ftspm/internal/experiments"
+	"ftspm/internal/fabric"
 	"ftspm/internal/report"
 )
 
@@ -100,7 +108,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	perfJSON := fs.String("perfjson", "", "append a sweep wall-clock/allocation measurement to this JSON-lines file")
 	checkpoint := fs.String("checkpoint", "", "journal finished sweep jobs to this file (crash-safe campaign)")
 	resume := fs.Bool("resume", false, "skip sweep jobs already journaled in -checkpoint")
-	workers := fs.Int("workers", 0, "sweep worker pool size (0: GOMAXPROCS)")
+	parallel := fs.Int("parallel", 0, "sweep worker pool size, local or per fabric chunk (0: GOMAXPROCS)")
+	workers := fs.String("workers", "", "comma-separated ftspmd worker URLs: distribute the sweep over the fabric")
+	lease := fs.Duration("lease", 0, "fabric heartbeat lease before a silent worker is declared dead (0: 60s)")
 	retries := fs.Int("retries", 0, "per-job retries before a sweep job is recorded failed")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline for sweep jobs (0: none)")
 	if err := fs.Parse(args); err != nil {
@@ -112,7 +122,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cc := experiments.CampaignConfig{
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
-		Workers:    *workers,
+		Workers:    *parallel,
 		JobTimeout: *jobTimeout,
 		Retries:    *retries,
 	}
@@ -229,7 +239,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	sweepStart := time.Now()
-	sw, status, runErr := experiments.RunSweepCampaign(ctx, opts, cc)
+	var sw *experiments.Sweep
+	var status *experiments.CampaignStatus
+	var runErr error
+	if *workers != "" {
+		sw, status, runErr = fabric.RunSweep(ctx, fabric.Config{
+			Workers:    fabric.ParseWorkers(*workers),
+			Parallel:   *parallel,
+			Lease:      *lease,
+			Retries:    *retries,
+			JobTimeout: *jobTimeout,
+			Checkpoint: *checkpoint,
+			Resume:     *resume,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ftspm-bench: "+format+"\n", args...)
+			},
+		}, opts)
+	} else {
+		sw, status, runErr = experiments.RunSweepCampaign(ctx, opts, cc)
+	}
 	if sw == nil {
 		return runErr // campaign setup failure (checkpoint, flags)
 	}

@@ -19,8 +19,16 @@
 //	           [-scrub 4096] [-policy rollback] [-no-recovery]
 //	           [-wear-fail 0] [-wear-stuck 0] [-seed 1] [-json file]
 //	           [-lanes 0] [-checkpoint soak.ckpt] [-resume]
-//	           [-workers N] [-retries N] [-job-timeout d]
+//	           [-parallel N] [-retries N] [-job-timeout d]
+//	           [-workers host1:8077,host2:8077] [-lease 60s]
 //	           [-cpuprofile f] [-memprofile f] [-perfjson f]
+//
+// With -workers the campaign is sharded across the listed ftspmd
+// daemons by the distributed fabric (internal/fabric): per-worker
+// health probing, lease-based dead-worker detection with re-queue,
+// poison-job quarantine, and local-execution fallback when every
+// worker is down. The merged reports — and the -checkpoint journal —
+// are byte-identical to a single-node run of the same campaign.
 //
 // -lanes controls the bit-parallel packed engine (internal/simd): 0
 // (the default) packs up to 64 trials per trace pass, 1 forces the
@@ -46,6 +54,7 @@ import (
 	"ftspm/internal/campaign"
 	"ftspm/internal/core"
 	"ftspm/internal/experiments"
+	"ftspm/internal/fabric"
 	"ftspm/internal/report"
 	"ftspm/internal/sim"
 	"ftspm/internal/spm"
@@ -170,7 +179,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	jsonPath := fs.String("json", "", "also write the reports as JSON to this file")
 	checkpoint := fs.String("checkpoint", "", "journal finished trials to this file (crash-safe campaign)")
 	resume := fs.Bool("resume", false, "skip trials already journaled in -checkpoint")
-	workers := fs.Int("workers", 0, "trial worker pool size (0: GOMAXPROCS)")
+	parallel := fs.Int("parallel", 0, "trial worker pool size, local or per fabric chunk (0: GOMAXPROCS)")
+	workers := fs.String("workers", "", "comma-separated ftspmd worker URLs: distribute the campaign over the fabric")
+	lease := fs.Duration("lease", 0, "fabric heartbeat lease before a silent worker is declared dead (0: 60s)")
 	retries := fs.Int("retries", 0, "per-trial retries before a trial is recorded failed")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-trial deadline (0: none)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -191,7 +202,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cc := experiments.CampaignConfig{
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
-		Workers:    *workers,
+		Workers:    *parallel,
 		JobTimeout: *jobTimeout,
 		Retries:    *retries,
 	}
@@ -269,7 +280,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	reports, status, runErr := experiments.RunSoakCampaign(ctx, opts, structs, cc)
+	var reports []*experiments.SoakReport
+	var status *experiments.CampaignStatus
+	var runErr error
+	if *workers != "" {
+		reports, status, runErr = fabric.RunSoak(ctx, fabric.Config{
+			Workers:    fabric.ParseWorkers(*workers),
+			Parallel:   *parallel,
+			Lease:      *lease,
+			Retries:    *retries,
+			JobTimeout: *jobTimeout,
+			Checkpoint: *checkpoint,
+			Resume:     *resume,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ftspm-soak: "+format+"\n", args...)
+			},
+		}, opts, structs)
+	} else {
+		reports, status, runErr = experiments.RunSoakCampaign(ctx, opts, structs, cc)
+	}
 	wall := time.Since(start)
 	if reports == nil {
 		return runErr // campaign setup failure (checkpoint, flags)

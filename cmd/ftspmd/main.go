@@ -9,10 +9,15 @@
 //	POST   /v1/evaluate   one workload × structure, within a deadline
 //	POST   /v1/sweep      async full design-space sweep job
 //	POST   /v1/soak       async Monte-Carlo recovery soak job
+//	POST   /v1/fabric     execute one distributed-campaign chunk,
+//	                      streaming per-job results as NDJSON (the
+//	                      worker side of internal/fabric; drive it with
+//	                      ftspm-bench/ftspm-soak -workers)
 //	GET    /v1/jobs       list jobs
 //	GET    /v1/jobs/{id}  job status / result
 //	DELETE /v1/jobs/{id}  cancel a job (checkpointed, resumable)
-//	GET    /healthz       liveness (always 200 while the process runs)
+//	GET    /healthz       liveness + load signals: in-flight jobs,
+//	                      per-class admission backlog, breaker state
 //	GET    /readyz        readiness (503 while draining or tripped)
 //
 // SIGINT/SIGTERM drains gracefully: admission closes, in-flight

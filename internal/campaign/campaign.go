@@ -24,6 +24,7 @@ package campaign
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -104,6 +105,12 @@ type Config struct {
 	// OnJobDone, when non-nil, observes every finished job after it is
 	// journaled (called from the collector, never concurrently).
 	OnJobDone func(id string, status Status)
+	// OnJobResult, when non-nil, observes every finished job's full
+	// result in journal form (value encoded as JSON) after it is
+	// journaled — live results only; resumed ones are already in the
+	// caller's hands. Called from the collector, never concurrently.
+	// This is the seam the fabric worker endpoint streams from.
+	OnJobResult func(Result[json.RawMessage])
 }
 
 func (c Config) normalize(jobs int) Config {
@@ -265,15 +272,36 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) (*Report[R], err
 	}()
 
 	// Collector: journal each finished job (write-fsync before it
-	// counts), then account for it.
+	// counts), then account for it. A journal append failure means the
+	// result was never durably recorded: the job is reported pending —
+	// not completed — so callers (and resumed runs) re-run it instead of
+	// silently trusting a result that would vanish with the process.
 	var journalErr error
 	for out := range outCh {
 		if out.abandoned {
 			rep.PendingIDs = append(rep.PendingIDs, out.res.ID)
 			continue
 		}
-		if jl != nil && journalErr == nil {
-			journalErr = jl.Append(out.res)
+		// Encode for the observer before accounting: a result that
+		// cannot round-trip through JSON is as unusable to the caller as
+		// one that failed to journal, so it is reported pending too.
+		var raw Result[json.RawMessage]
+		var rawErr error
+		if cfg.OnJobResult != nil {
+			raw, rawErr = rawResult(out.res)
+		}
+		if jl != nil {
+			if journalErr == nil {
+				journalErr = jl.Append(out.res)
+			}
+			if journalErr != nil {
+				rep.PendingIDs = append(rep.PendingIDs, out.res.ID)
+				continue
+			}
+		}
+		if rawErr != nil {
+			rep.PendingIDs = append(rep.PendingIDs, out.res.ID)
+			continue
 		}
 		rep.Results[out.res.ID] = out.res
 		if out.res.Status == StatusFailed {
@@ -283,6 +311,9 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) (*Report[R], err
 		}
 		if cfg.OnJobDone != nil {
 			cfg.OnJobDone(out.res.ID, out.res.Status)
+		}
+		if cfg.OnJobResult != nil {
+			cfg.OnJobResult(raw)
 		}
 	}
 	rep.PendingIDs = append(rep.PendingIDs, <-undispatched...)
@@ -351,6 +382,54 @@ func runAttempt[R any](cfg Config, job Job[R]) (v R, err error) {
 		}
 	}()
 	return job.Run(jctx)
+}
+
+// rawResult re-encodes a typed result into journal form: the value as
+// its JSON encoding, every other field unchanged.
+func rawResult[R any](r Result[R]) (Result[json.RawMessage], error) {
+	var raw json.RawMessage
+	if r.Status == StatusDone {
+		b, err := json.Marshal(r.Value)
+		if err != nil {
+			return Result[json.RawMessage]{}, fmt.Errorf("campaign: encode result %s: %w", r.ID, err)
+		}
+		raw = b
+	}
+	return Result[json.RawMessage]{
+		ID: r.ID, Status: r.Status, Attempts: r.Attempts,
+		Value: raw, Err: r.Err, Stack: r.Stack,
+		Resumed: r.Resumed, Cause: r.Cause,
+	}, nil
+}
+
+// DecodeReport converts a raw-JSON-typed report (the form external
+// executors produce over OpenJournal's record format) into a typed one:
+// done values are decoded, failed and pending entries carry their
+// metadata unchanged. This is the same JSON round-trip a checkpoint
+// resume performs, so a decoded report aggregates byte-identically to
+// a natively-typed one.
+func DecodeReport[R any](raw *Report[json.RawMessage]) (*Report[R], error) {
+	rep := &Report[R]{
+		Results:    make(map[string]Result[R], len(raw.Results)),
+		Completed:  raw.Completed,
+		Failed:     raw.Failed,
+		Resumed:    raw.Resumed,
+		PendingIDs: raw.PendingIDs,
+	}
+	for id, r := range raw.Results {
+		var v R
+		if r.Status == StatusDone && len(r.Value) > 0 {
+			if err := json.Unmarshal(r.Value, &v); err != nil {
+				return nil, fmt.Errorf("campaign: decode result %s: %w", id, err)
+			}
+		}
+		rep.Results[id] = Result[R]{
+			ID: r.ID, Status: r.Status, Attempts: r.Attempts,
+			Value: v, Err: r.Err, Stack: r.Stack,
+			Resumed: r.Resumed, Cause: r.Cause,
+		}
+	}
+	return rep, nil
 }
 
 // sleep waits d or until ctx is cancelled; it reports whether the full

@@ -51,10 +51,20 @@ type journal struct {
 	closed bool
 }
 
+// appendHook, when non-nil, intercepts journal appends before they are
+// written — the test seam for injecting durable-write (fsync) failures.
+var appendHook func(v any) error
+
 // Append journals one finished job: a single JSON line, written in one
 // call and fsynced so the record survives a crash of the very next
-// instruction.
+// instruction. The error is the caller's signal that the record is NOT
+// durable: a job whose append failed must be treated as never finished.
 func (j *journal) Append(v any) error {
+	if appendHook != nil {
+		if err := appendHook(v); err != nil {
+			return err
+		}
+	}
 	line, err := json.Marshal(v)
 	if err != nil {
 		return err
@@ -181,6 +191,35 @@ func parseJournal[R any](blob []byte, hash string) (map[string]Result[R], int64,
 	}
 	return done, off, nil
 }
+
+// Journal is the exported append side of a checkpoint, typed on raw
+// JSON results. It exists for executors outside this package — the
+// distributed fabric coordinator merges remotely-executed results into
+// the very same JSONL journal Run writes locally, so a campaign can be
+// interrupted under one executor and resumed under the other.
+type Journal struct {
+	j *journal
+}
+
+// OpenJournal opens (or, with resume, reloads) the checkpoint at path
+// exactly as Run would: same header, same config-hash verification,
+// same torn-tail truncation. It returns the journal and the results
+// already finished in it (nil on a fresh run).
+func OpenJournal(path, hash string, resume bool) (*Journal, map[string]Result[json.RawMessage], error) {
+	jl, done, err := openCheckpoint[json.RawMessage](path, hash, resume)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Journal{j: jl}, done, nil
+}
+
+// Append journals one finished job (write + fsync before returning). A
+// non-nil error means the record is not durable: the caller must treat
+// the job as never finished and re-queue it.
+func (j *Journal) Append(r Result[json.RawMessage]) error { return j.j.Append(r) }
+
+// Close closes the journal. Safe to call twice.
+func (j *Journal) Close() error { return j.j.Close() }
 
 // syncDir fsyncs the directory containing path so a just-created
 // journal survives a crash of the host (best-effort: some platforms

@@ -226,22 +226,25 @@ type soakStructShared struct {
 	packed    packedState
 }
 
-// packedState memoizes the packed engine's output for one structure.
-// The first trial job to run builds the skeleton and computes every
-// trial of the structure in lane batches; the remaining trial jobs
-// return their cached slot. A configuration the engine rejects flips
-// the state off, and every job falls back to the scalar path.
+// packedState memoizes the packed engine's output for one structure,
+// one lane batch at a time. The first trial job to run builds the
+// skeleton and engine; each batch of up to width trials is computed by
+// the first job that lands in it and cached for its lane-mates. Lazy
+// batching matters in distributed runs: a worker assigned a slice of a
+// structure's trials computes only the batches covering its slice, not
+// the whole campaign. A configuration the engine rejects flips the
+// state off, and every job falls back to the scalar path.
 type packedState struct {
-	mu   sync.Mutex
-	off  bool
-	done bool
-	res  []soakTrialResult
+	mu      sync.Mutex
+	off     bool
+	eng     *simd.Engine
+	batches map[int][]soakTrialResult
 }
 
-// trial returns trial t's packed result, computing all trials on first
-// use. ok=false means the packed path does not apply (caller runs the
-// scalar trial). Context errors are returned uncached, so a retried or
-// resumed job recomputes.
+// trial returns trial t's packed result, computing its lane batch on
+// first use. ok=false means the packed path does not apply (caller runs
+// the scalar trial). Context errors are returned uncached, so a retried
+// or resumed job recomputes.
 func (ps *packedState) trial(ctx context.Context, w workloads.Workload, spec core.Spec,
 	place spm.Placement, events []trace.Event, opts SoakOptions, t, width int) (soakTrialResult, bool, error) {
 	ps.mu.Lock()
@@ -249,8 +252,8 @@ func (ps *packedState) trial(ctx context.Context, w workloads.Workload, spec cor
 	if ps.off {
 		return soakTrialResult{}, false, nil
 	}
-	if !ps.done {
-		res, err := packedTrials(ctx, w, spec, place, events, opts, width)
+	if ps.eng == nil {
+		eng, err := buildPackedEngine(ctx, w, spec, place, events, opts)
 		if errors.Is(err, simd.ErrUnsupported) {
 			ps.off = true
 			return soakTrialResult{}, false, nil
@@ -258,19 +261,30 @@ func (ps *packedState) trial(ctx context.Context, w workloads.Workload, spec cor
 		if err != nil {
 			return soakTrialResult{}, false, err
 		}
-		ps.res = res
-		ps.done = true
+		ps.eng = eng
+		ps.batches = make(map[int][]soakTrialResult)
 	}
-	return ps.res[t], true, nil
+	b := t / width
+	res, ok := ps.batches[b]
+	if !ok {
+		var err error
+		res, err = packedBatch(ctx, ps.eng, opts, b*width, width)
+		if errors.Is(err, simd.ErrUnsupported) {
+			ps.off = true
+			return soakTrialResult{}, false, nil
+		}
+		if err != nil {
+			return soakTrialResult{}, false, err
+		}
+		ps.batches[b] = res
+	}
+	return res[t-b*width], true, nil
 }
 
-// packedTrials runs every trial of one (workload, structure) soak
-// configuration through the packed engine: one instrumented recording
-// pass, then ⌈Trials/width⌉ packed replays of up to width lanes each.
-// Seeds derive exactly as in runSoakTrial, so the per-trial results are
-// byte-identical to the scalar path.
-func packedTrials(ctx context.Context, w workloads.Workload, spec core.Spec,
-	place spm.Placement, events []trace.Event, opts SoakOptions, width int) ([]soakTrialResult, error) {
+// buildPackedEngine records the instrumented fault-free pass and builds
+// the lane engine for one (workload, structure) soak configuration.
+func buildPackedEngine(ctx context.Context, w workloads.Workload, spec core.Spec,
+	place spm.Placement, events []trace.Event, opts SoakOptions) (*simd.Engine, error) {
 	cfg := spec.SimConfig(place)
 	if opts.Recovery != nil {
 		rc := *opts.Recovery
@@ -280,36 +294,39 @@ func packedTrials(ctx context.Context, w workloads.Workload, spec core.Spec,
 	if err != nil {
 		return nil, err
 	}
-	eng, err := simd.NewEngine(sk, simd.Injection{
+	return simd.NewEngine(sk, simd.Injection{
 		StrikesPerAccess: opts.StrikesPerAccess,
 		Dist:             opts.Dist,
 		Target:           opts.Target,
 	})
-	if err != nil {
+}
+
+// packedBatch runs the lane batch starting at trial t0 (up to width
+// trials, clipped to the campaign's trial count) through one packed
+// trace pass. Seeds derive exactly as in runSoakTrial, and RunBatch
+// resets the engine per call, so batch results depend only on the
+// seeds — byte-identical to the scalar path whichever batches run, in
+// whatever order.
+func packedBatch(ctx context.Context, eng *simd.Engine, opts SoakOptions, t0, width int) ([]soakTrialResult, error) {
+	n := width
+	if t0+n > opts.Trials {
+		n = opts.Trials - t0
+	}
+	seeds := make([]int64, n)
+	for i := 0; i < n; i++ {
+		seeds[i] = opts.Seed + int64(t0+i)*soakTrialStride
+	}
+	batch := make([]simd.TrialResult, n)
+	if err := eng.RunBatch(ctx, seeds, batch); err != nil {
 		return nil, err
 	}
-	out := make([]soakTrialResult, opts.Trials)
-	seeds := make([]int64, 0, width)
-	batch := make([]simd.TrialResult, width)
-	for t0 := 0; t0 < opts.Trials; t0 += width {
-		n := width
-		if t0+n > opts.Trials {
-			n = opts.Trials - t0
-		}
-		seeds = seeds[:0]
-		for i := 0; i < n; i++ {
-			seeds = append(seeds, opts.Seed+int64(t0+i)*soakTrialStride)
-		}
-		if err := eng.RunBatch(ctx, seeds, batch[:n]); err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			out[t0+i] = soakTrialResult{
-				Accesses: batch[i].Accesses,
-				Strikes:  batch[i].Strikes,
-				Recovery: batch[i].Recovery,
-				Audit:    batch[i].Audit,
-			}
+	out := make([]soakTrialResult, n)
+	for i := 0; i < n; i++ {
+		out[i] = soakTrialResult{
+			Accesses: batch[i].Accesses,
+			Strikes:  batch[i].Strikes,
+			Recovery: batch[i].Recovery,
+			Audit:    batch[i].Audit,
 		}
 	}
 	return out, nil
@@ -386,88 +403,52 @@ func soakConfigHash(opts SoakOptions, structures []core.Structure) (string, erro
 // campaign.ErrIncomplete.
 func RunSoakCampaign(ctx context.Context, base SoakOptions, structures []core.Structure,
 	cc CampaignConfig) ([]*SoakReport, *CampaignStatus, error) {
-	base = base.normalize()
 	if err := cc.Validate(); err != nil {
 		return nil, nil, err
 	}
-	if len(structures) == 0 {
-		structures = []core.Structure{base.Structure}
-	}
-	for _, s := range structures {
-		if !s.Valid() {
-			return nil, nil, fmt.Errorf("experiments: soak: invalid structure %d", s)
-		}
-	}
-	if err := base.Dist.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("experiments: soak: %w", err)
-	}
-	w, err := workloads.ByName(base.Workload)
+	src, err := SoakSource(base, structures)
 	if err != nil {
 		return nil, nil, err
 	}
-	hash, err := soakConfigHash(base, structures)
+	jobs, err := src.Jobs(src.IDs)
 	if err != nil {
 		return nil, nil, err
 	}
-
-	sh := &soakShared{w: w, opts: base}
-	jobs := make([]campaign.Job[soakTrialResult], 0, len(structures)*base.Trials)
-	order := make([]string, 0, cap(jobs))
-	// Structure-major dispatch: with short trials this keeps every
-	// structure's shared setup warm early instead of computing them all
-	// back-to-back at the end.
-	for _, s := range structures {
-		s := s
-		ss := &soakStructShared{structure: s}
-		opts := base
-		opts.Structure = s
-		for t := 0; t < base.Trials; t++ {
-			t := t
-			id := soakJobID(s, t)
-			order = append(order, id)
-			jobs = append(jobs, campaign.Job[soakTrialResult]{
-				ID: id,
-				Run: func(jctx context.Context) (soakTrialResult, error) {
-					if err := ss.ensure(sh); err != nil {
-						return soakTrialResult{}, err
-					}
-					// Packed fast path: with no wear model, up to 64
-					// trials advance through one trace pass. Unsupported
-					// configurations fall back to the scalar simulator.
-					if width := laneWidth(opts.Lanes); width > 1 && opts.Wear == nil {
-						res, ok, err := ss.packed.trial(jctx, w, ss.spec, ss.place, sh.events, opts, t, width)
-						if err != nil {
-							return soakTrialResult{}, fmt.Errorf("experiments: soak trial %d: %w", t, err)
-						}
-						if ok {
-							return res, nil
-						}
-					}
-					res, err := runSoakTrial(jctx, w, ss.spec, ss.place, sh.events, opts, t)
-					if err != nil {
-						return soakTrialResult{}, fmt.Errorf("experiments: soak trial %d: %w", t, err)
-					}
-					return res, nil
-				},
-			})
-		}
-	}
-
-	rep, runErr := campaign.Run(ctx, cc.runnerConfig(hash), jobs)
+	rep, runErr := campaign.Run(ctx, cc.runnerConfig(src.Hash), jobs)
 	if rep == nil {
 		return nil, nil, runErr
 	}
-	reports := make([]*SoakReport, len(structures))
-	for i, s := range structures {
-		trials := make([]soakTrialResult, 0, base.Trials)
-		for t := 0; t < base.Trials; t++ {
-			if r, ok := rep.Results[soakJobID(s, t)]; ok && r.Status == campaign.StatusDone {
-				trials = append(trials, r.Value)
-			}
-		}
-		reports[i] = aggregateSoak(w.Name, s, base.Trials, trials)
+	reports, status, err := src.AssembleSoak(rep)
+	if err != nil {
+		return nil, nil, err
 	}
-	return reports, statusOf(rep, order), runErr
+	return reports, status, runErr
+}
+
+// runSoakJobBody is the body of one (structure, trial) soak job, shared
+// by the local campaign path and the distributed fabric's job source.
+func runSoakJobBody(ctx context.Context, sh *soakShared, ss *soakStructShared,
+	w workloads.Workload, opts SoakOptions, t int) (soakTrialResult, error) {
+	if err := ss.ensure(sh); err != nil {
+		return soakTrialResult{}, err
+	}
+	// Packed fast path: with no wear model, up to 64 trials advance
+	// through one trace pass. Unsupported configurations fall back to
+	// the scalar simulator.
+	if width := laneWidth(opts.Lanes); width > 1 && opts.Wear == nil {
+		res, ok, err := ss.packed.trial(ctx, w, ss.spec, ss.place, sh.events, opts, t, width)
+		if err != nil {
+			return soakTrialResult{}, fmt.Errorf("experiments: soak trial %d: %w", t, err)
+		}
+		if ok {
+			return res, nil
+		}
+	}
+	res, err := runSoakTrial(ctx, w, ss.spec, ss.place, sh.events, opts, t)
+	if err != nil {
+		return soakTrialResult{}, fmt.Errorf("experiments: soak trial %d: %w", t, err)
+	}
+	return res, nil
 }
 
 // aggregateSoak folds completed trials into one report, in trial order.

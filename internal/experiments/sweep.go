@@ -114,55 +114,26 @@ func sweepConfigHash(opts Options, suite []workloads.Workload, structures []core
 // reported pending, and the error wraps campaign.ErrIncomplete — the
 // returned Sweep then holds every salvaged outcome.
 func RunSweepCampaign(ctx context.Context, opts Options, cc CampaignConfig) (*Sweep, *CampaignStatus, error) {
-	opts = opts.normalize()
 	if err := cc.Validate(); err != nil {
 		return nil, nil, err
 	}
-	suite := workloads.Suite()
-	structures := core.Structures()
-	hash, err := sweepConfigHash(opts, suite, structures)
+	src, err := SweepSource(opts)
 	if err != nil {
 		return nil, nil, err
 	}
-
-	shares := make([]sharedWorkload, len(suite))
-	for i := range shares {
-		shares[i].remaining.Store(int32(len(structures)))
+	jobs, err := src.Jobs(src.IDs)
+	if err != nil {
+		return nil, nil, err
 	}
-	// Structure-major job order spreads the once-per-workload
-	// profiling over distinct workers instead of serializing them on
-	// one sync.Once.
-	jobs := make([]campaign.Job[Outcome], 0, len(suite)*len(structures))
-	order := make([]string, 0, cap(jobs))
-	for _, s := range structures {
-		for wi, w := range suite {
-			w, s, sh := w, s, &shares[wi]
-			id := sweepJobID(w.Name, s)
-			order = append(order, id)
-			jobs = append(jobs, campaign.Job[Outcome]{
-				ID:  id,
-				Run: func(jctx context.Context) (Outcome, error) { return runSweepJob(jctx, w, s, sh, opts) },
-			})
-		}
-	}
-
-	rep, runErr := campaign.Run(ctx, cc.runnerConfig(hash), jobs)
+	rep, runErr := campaign.Run(ctx, cc.runnerConfig(src.Hash), jobs)
 	if rep == nil {
 		return nil, nil, runErr
 	}
-	sw := &Sweep{Options: opts}
-	sw.Workloads = make([]string, len(suite))
-	sw.Outcomes = make([][]Outcome, len(suite))
-	for wi, w := range suite {
-		sw.Workloads[wi] = w.Name
-		sw.Outcomes[wi] = make([]Outcome, len(structures))
-		for si, s := range structures {
-			if r, ok := rep.Results[sweepJobID(w.Name, s)]; ok && r.Status == campaign.StatusDone {
-				sw.Outcomes[wi][si] = r.Value
-			}
-		}
+	sw, status, err := src.AssembleSweep(rep)
+	if err != nil {
+		return nil, nil, err
 	}
-	return sw, statusOf(rep, order), runErr
+	return sw, status, runErr
 }
 
 // runSweepJob is one (workload, structure) evaluation: share the

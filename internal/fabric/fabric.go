@@ -1,0 +1,500 @@
+// Package fabric is the distributed campaign coordinator: it shards a
+// campaign's job list across a cluster of ftspmd workers, streams
+// per-job results back over /v1/fabric, and merges them into a report
+// byte-identical to a local run of the same campaign.
+//
+// The design is pull-based and journal-anchored. Worker loops pull
+// chunks from a shared queue only while their daemon probes healthy, so
+// placement follows capacity; every merged result is fsynced to the
+// campaign checkpoint journal before the job is acked, so the only
+// coordinator state worth preserving IS the journal — a SIGTERM drain
+// or crash loses nothing but in-flight compute, and a restarted
+// coordinator (or a plain single-node run) resumes from the same file.
+//
+// Failure handling, layer by layer: a lease watchdog cancels streams
+// that stop heartbeating; un-acked jobs of a dead placement are
+// re-queued (exactly-once is restored by job-ID dedup at the merger); a
+// placement that started and then died marks its jobs as suspects,
+// which are re-placed alone so a poison job can only take itself down,
+// and quarantined after MaxPlacements burned placements; a per-worker
+// circuit breaker stops hammering a flapping daemon; and when every
+// worker is down at once the coordinator degrades to executing chunks
+// locally rather than stalling the campaign.
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ftspm/internal/campaign"
+	"ftspm/internal/experiments"
+	"ftspm/internal/fabric/wire"
+	"ftspm/internal/server"
+	"ftspm/internal/server/client"
+)
+
+// ErrNoWorkers rejects a fabric run configured with no worker URLs.
+var ErrNoWorkers = errors.New("fabric: no workers configured")
+
+// errLeaseExpired cancels a chunk stream whose worker stopped
+// heartbeating (no line received within the lease).
+var errLeaseExpired = errors.New("fabric: lease expired: no heartbeat from worker")
+
+// Config parameterizes a coordinator run. Zero values select the
+// defaults in parentheses.
+type Config struct {
+	// Workers lists the ftspmd base URLs the campaign is sharded over.
+	Workers []string
+	// Parallel bounds each worker's sim pool per chunk, and the local
+	// fallback pool (0 = worker/local GOMAXPROCS).
+	Parallel int
+	// ChunkSize caps jobs per placement (computed: enough chunks for
+	// ~4 rounds per worker, clamped to [1, 64]).
+	ChunkSize int
+	// Lease is the per-stream heartbeat timeout: a placement that
+	// streams nothing for this long is declared dead and its un-acked
+	// jobs re-queued (60s).
+	Lease time.Duration
+	// ProbeInterval spaces /healthz probes of unhealthy or busy
+	// workers (2s); ProbeTimeout bounds each probe (= ProbeInterval).
+	ProbeInterval, ProbeTimeout time.Duration
+	// MaxPlacements quarantines a job after this many placements that
+	// started and then died with it outstanding (3).
+	MaxPlacements int
+	// Retries and JobTimeout bound each sim job, as in the local
+	// campaign runner.
+	Retries    int
+	JobTimeout time.Duration
+	// Checkpoint names the campaign journal; Resume loads it and skips
+	// finished jobs. The file is interchangeable with a single-node
+	// run's checkpoint of the same campaign.
+	Checkpoint string
+	Resume     bool
+	// Breaker tunes the per-worker circuit breaker.
+	Breaker server.BreakerConfig
+	// NoLocalFallback disables degrading to local execution when every
+	// worker is down.
+	NoLocalFallback bool
+	// HTTPClient overrides the transport (http.DefaultClient).
+	HTTPClient *http.Client
+	// Logf, when set, receives coordinator progress and fault events.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lease <= 0 {
+		c.Lease = 60 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.MaxPlacements <= 0 {
+		c.MaxPlacements = 3
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// workerRef is one daemon's coordinator-side state.
+type workerRef struct {
+	url  string
+	cl   *client.Client
+	brk  *server.Breaker
+	down sync.Mutex // guards the flag below
+	isDn bool
+}
+
+func (w *workerRef) setDown(v bool) {
+	w.down.Lock()
+	w.isDn = v
+	w.down.Unlock()
+}
+
+func (w *workerRef) isDown() bool {
+	w.down.Lock()
+	defer w.down.Unlock()
+	return w.isDn
+}
+
+// fabricRun is one coordinator run's shared state.
+type fabricRun struct {
+	cfg     Config
+	src     *experiments.JobSource
+	tmpl    wire.Request
+	q       *queue
+	m       *merger
+	workers []*workerRef
+	chunk   int
+}
+
+// Run executes the campaign described by src across cfg.Workers and
+// returns the merged raw report. On cancellation or quarantine the
+// report carries every durable result and the error wraps
+// campaign.ErrIncomplete, exactly like the local campaign runner.
+func Run(ctx context.Context, cfg Config, src *experiments.JobSource) (*campaign.Report[json.RawMessage], error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, ErrNoWorkers
+	}
+
+	rep := &campaign.Report[json.RawMessage]{
+		Results: make(map[string]campaign.Result[json.RawMessage], len(src.IDs)),
+	}
+	var jl *campaign.Journal
+	if cfg.Checkpoint != "" {
+		var done map[string]campaign.Result[json.RawMessage]
+		var err error
+		jl, done, err = campaign.OpenJournal(cfg.Checkpoint, src.Hash, cfg.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: %w", err)
+		}
+		defer jl.Close()
+		for _, id := range src.IDs {
+			r, ok := done[id]
+			if !ok {
+				continue
+			}
+			r.Resumed = true
+			rep.Results[id] = r
+			rep.Resumed++
+			if r.Status == campaign.StatusFailed {
+				rep.Failed++
+			} else {
+				rep.Completed++
+			}
+		}
+		if rep.Resumed > 0 {
+			cfg.Logf("fabric: resumed %d finished jobs from %s", rep.Resumed, cfg.Checkpoint)
+		}
+	}
+
+	var todo []string
+	for _, id := range src.IDs {
+		if _, ok := rep.Results[id]; !ok {
+			todo = append(todo, id)
+		}
+	}
+
+	f := &fabricRun{
+		cfg:   cfg,
+		src:   src,
+		tmpl:  requestFor(src, cfg),
+		q:     newQueue(todo, cfg.MaxPlacements),
+		m:     newMerger(jl, rep),
+		chunk: chunkSize(cfg, len(todo)),
+	}
+	for _, u := range cfg.Workers {
+		cl, err := client.New(client.Config{BaseURL: u, HTTPClient: cfg.HTTPClient})
+		if err != nil {
+			return nil, fmt.Errorf("fabric: worker %s: %w", u, err)
+		}
+		f.workers = append(f.workers, &workerRef{
+			url: u,
+			cl:  cl,
+			brk: server.NewBreaker(cfg.Breaker, nil),
+		})
+	}
+
+	// Cancellation path: closing the queue wakes blocked poppers; each
+	// chunk stream is additionally canceled through its own context,
+	// which derives from ctx.
+	stop := context.AfterFunc(ctx, f.q.close)
+	defer stop()
+
+	var wg sync.WaitGroup
+	for _, w := range f.workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.workerLoop(ctx, w)
+		}()
+	}
+	if !cfg.NoLocalFallback {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.localLoop(ctx)
+		}()
+	}
+	wg.Wait()
+
+	for _, id := range src.IDs {
+		if _, ok := rep.Results[id]; !ok {
+			rep.PendingIDs = append(rep.PendingIDs, id)
+		}
+	}
+	if err := f.q.failure(); err != nil {
+		return rep, fmt.Errorf("fabric: %w", err)
+	}
+	if jl != nil {
+		if err := jl.Close(); err != nil {
+			return rep, fmt.Errorf("fabric: checkpoint: %w", err)
+		}
+	}
+	if qids := f.q.quarantinedIDs(); len(qids) > 0 {
+		return rep, fmt.Errorf("%w: %d of %d jobs not run (%d quarantined after %d lost placements each: %s)",
+			campaign.ErrIncomplete, len(rep.PendingIDs), len(src.IDs),
+			len(qids), cfg.MaxPlacements, strings.Join(qids, ", "))
+	}
+	if len(rep.PendingIDs) > 0 {
+		return rep, fmt.Errorf("%w: %d of %d jobs not run: %w",
+			campaign.ErrIncomplete, len(rep.PendingIDs), len(src.IDs), context.Cause(ctx))
+	}
+	return rep, nil
+}
+
+// requestFor builds the wire request template for one source; the
+// worker loops fill in JobIDs per chunk.
+func requestFor(src *experiments.JobSource, cfg Config) wire.Request {
+	req := wire.Request{
+		Kind:         src.Kind,
+		ConfigHash:   src.Hash,
+		Parallel:     cfg.Parallel,
+		Retries:      cfg.Retries,
+		JobTimeoutMS: cfg.JobTimeout.Milliseconds(),
+	}
+	switch src.Kind {
+	case experiments.KindSweep:
+		req.Sweep = src.SweepOpts
+	case experiments.KindSoak:
+		req.Soak = src.SoakOpts
+		for _, s := range src.SoakStructures {
+			req.Structures = append(req.Structures, s.String())
+		}
+	}
+	return req
+}
+
+// chunkSize picks the placement granularity: explicit, or enough chunks
+// for about four placement rounds per worker, so a lost placement costs
+// a fraction of the campaign, clamped to [1, 64].
+func chunkSize(cfg Config, jobs int) int {
+	if cfg.ChunkSize > 0 {
+		return cfg.ChunkSize
+	}
+	n := jobs / (4 * len(cfg.Workers))
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// workerLoop drives one worker: probe until healthy, pull a chunk,
+// stream it, repeat. The circuit breaker gates placements after
+// repeated failures; a down or busy worker sleeps a probe interval
+// without holding any jobs.
+func (f *fabricRun) workerLoop(ctx context.Context, w *workerRef) {
+	for {
+		if ctx.Err() != nil || f.q.isClosed() {
+			return
+		}
+		if !w.brk.Ready() {
+			if !f.sleep(ctx, f.cfg.ProbeInterval) {
+				return
+			}
+			continue
+		}
+		up, busy := f.probe(ctx, w)
+		w.setDown(!up)
+		if !up || busy {
+			if !f.sleep(ctx, f.cfg.ProbeInterval) {
+				return
+			}
+			continue
+		}
+		chunk, ok := f.q.pop(f.chunk)
+		if !ok {
+			return
+		}
+		f.place(ctx, w, chunk)
+	}
+}
+
+// probe checks one worker's /healthz: up means reachable and not
+// draining; busy means its fabric admission queue is full, so placing
+// now would only be shed.
+func (f *fabricRun) probe(ctx context.Context, w *workerRef) (up, busy bool) {
+	pctx, cancel := context.WithTimeout(ctx, f.cfg.ProbeTimeout)
+	defer cancel()
+	h, err := w.cl.Healthz(pctx)
+	if err != nil {
+		f.cfg.Logf("fabric: worker %s down: %v", w.url, err)
+		return false, false
+	}
+	if h.Draining {
+		return false, false
+	}
+	busy = h.Fabric.QueueCap > 0 && h.Fabric.Queued >= h.Fabric.QueueCap
+	return true, busy
+}
+
+// place streams one chunk on one worker. Jobs are acked as their
+// results become durable; whatever the stream did not deliver is
+// re-queued — with a placement penalty only if the stream had actually
+// started (the worker accepted and then died mid-chunk), since a
+// connection-refused or shed placement says nothing about the jobs.
+func (f *fabricRun) place(ctx context.Context, w *workerRef, chunk []string) {
+	req := f.tmpl
+	req.JobIDs = chunk
+
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	// Lease watchdog, armed before the request is even sent: every
+	// streamed line is a heartbeat, and silence for a full lease kills
+	// the stream — including a worker that accepts the connection but
+	// never answers, which would otherwise hang the placement forever.
+	lease := time.AfterFunc(f.cfg.Lease, func() { cancel(errLeaseExpired) })
+	defer lease.Stop()
+	st, err := w.cl.Fabric(sctx, req)
+	if err != nil {
+		w.brk.RecordOutcome(true)
+		w.setDown(true)
+		f.cfg.Logf("fabric: worker %s rejected chunk (%d jobs): %v", w.url, len(chunk), err)
+		f.q.requeue(chunk, false)
+		return
+	}
+	defer st.Close()
+
+	outstanding := make(map[string]bool, len(chunk))
+	for _, id := range chunk {
+		outstanding[id] = true
+	}
+	sawTrailer := false
+	var trailerErr string
+	for {
+		line, err := st.Next()
+		if err != nil {
+			break
+		}
+		lease.Reset(f.cfg.Lease)
+		if line.Result != nil {
+			res := *line.Result
+			if merr := f.m.add(res); merr != nil {
+				// Not durable: leave the job un-acked so a resume
+				// re-runs it, and fail the run — the journal is gone.
+				f.q.requeue(chunk, false)
+				f.q.fail(fmt.Errorf("checkpoint: %w", merr))
+				return
+			}
+			delete(outstanding, res.ID)
+			f.q.ack(res.ID)
+		}
+		if line.Done != nil {
+			sawTrailer = true
+			trailerErr = line.Done.Error
+			break
+		}
+	}
+
+	if len(outstanding) > 0 {
+		missing := make([]string, 0, len(outstanding))
+		for _, id := range chunk {
+			if outstanding[id] {
+				missing = append(missing, id)
+			}
+		}
+		// A trailer with missing jobs is a graceful worker drain (no
+		// penalty); a cut stream is a dead or hung placement.
+		f.q.requeue(missing, !sawTrailer)
+		f.cfg.Logf("fabric: worker %s lost %d of %d jobs (trailer=%v err=%q); re-queued",
+			w.url, len(missing), len(chunk), sawTrailer, trailerErr)
+	}
+	if sawTrailer {
+		w.brk.RecordOutcome(false)
+	} else {
+		w.brk.RecordOutcome(true)
+		w.setDown(true)
+	}
+}
+
+// localLoop is the graceful-degradation path: while every worker is
+// down at once, chunks execute in this process through the very same
+// source runners, so the campaign makes progress instead of stalling.
+func (f *fabricRun) localLoop(ctx context.Context) {
+	for {
+		if ctx.Err() != nil || f.q.isClosed() {
+			return
+		}
+		if !f.allDown() {
+			if !f.sleep(ctx, f.cfg.ProbeInterval) {
+				return
+			}
+			continue
+		}
+		chunk, ok := f.q.tryPop(f.chunk)
+		if !ok {
+			if f.q.isClosed() {
+				return
+			}
+			if !f.sleep(ctx, f.cfg.ProbeInterval) {
+				return
+			}
+			continue
+		}
+		f.cfg.Logf("fabric: all %d workers down; running %d jobs locally", len(f.workers), len(chunk))
+		f.runLocal(ctx, chunk)
+	}
+}
+
+func (f *fabricRun) allDown() bool {
+	for _, w := range f.workers {
+		if !w.isDown() {
+			return false
+		}
+	}
+	return true
+}
+
+// runLocal executes one chunk in-process, merging and acking each
+// result exactly as a worker stream would.
+func (f *fabricRun) runLocal(ctx context.Context, chunk []string) {
+	jobs, err := f.src.Jobs(chunk)
+	if err != nil {
+		f.q.fail(err)
+		return
+	}
+	cfg := campaign.Config{
+		Workers:    f.cfg.Parallel,
+		JobTimeout: f.cfg.JobTimeout,
+		Attempts:   f.cfg.Retries + 1,
+		OnJobResult: func(res campaign.Result[json.RawMessage]) {
+			if merr := f.m.add(res); merr != nil {
+				f.q.fail(fmt.Errorf("checkpoint: %w", merr))
+				return
+			}
+			f.q.ack(res.ID)
+		},
+	}
+	_, _ = campaign.Run(ctx, cfg, jobs)
+	// Whatever the local run did not finish (drain) goes back; acked
+	// jobs are skipped by requeue. Local execution is trusted — no
+	// placement penalty.
+	f.q.requeue(chunk, false)
+}
+
+// sleep waits d or until ctx is done; false means stop looping.
+func (f *fabricRun) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,54 @@
+package fabric
+
+import (
+	"encoding/json"
+	"sync"
+
+	"ftspm/internal/campaign"
+	"ftspm/internal/fabric/wire"
+)
+
+// merger folds streamed job results — from any worker stream or the
+// local fallback runner, concurrently — into one campaign report with
+// exactly-once semantics. Results are journaled before they are
+// accounted, so a job is acked (and never re-placed) only once its
+// result is durable; the journal it writes is the same JSONL checkpoint
+// campaign.Run writes, so a single-node run can resume a fabric
+// checkpoint and vice versa.
+type merger struct {
+	mu  sync.Mutex
+	jl  *campaign.Journal // nil when the run is not checkpointed
+	rep *campaign.Report[json.RawMessage]
+}
+
+func newMerger(jl *campaign.Journal, rep *campaign.Report[json.RawMessage]) *merger {
+	if rep.Results == nil {
+		rep.Results = make(map[string]campaign.Result[json.RawMessage])
+	}
+	return &merger{jl: jl, rep: rep}
+}
+
+// add merges one result. Duplicates — the same job streamed by two
+// placements because a lease expired on a slow-but-alive worker — are
+// dropped by job ID: first durable result wins. A non-nil error means
+// the result could not be made durable (checkpoint append failed); the
+// caller must not ack the job, so it stays pending for a resumed run.
+func (m *merger) add(res wire.JobResult) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.rep.Results[res.ID]; dup {
+		return nil
+	}
+	if m.jl != nil {
+		if err := m.jl.Append(res); err != nil {
+			return err
+		}
+	}
+	m.rep.Results[res.ID] = res
+	if res.Status == campaign.StatusFailed {
+		m.rep.Failed++
+	} else {
+		m.rep.Completed++
+	}
+	return nil
+}

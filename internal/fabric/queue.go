@@ -1,0 +1,175 @@
+package fabric
+
+import "sync"
+
+// queue is the coordinator's shared work list: every job ID of the
+// campaign that still needs a durable result. Worker loops pop chunks,
+// stream them to their daemon, and ack each job as its result is
+// merged; a placement that dies gives its un-acked jobs back via
+// requeue. The queue closes when every job is done or quarantined,
+// when a fatal error is recorded, or when the run is canceled —
+// blocked poppers wake and exit either way.
+type jobState struct {
+	// placements counts started-then-lost placements: streams that
+	// opened and then died with this job still outstanding. Jobs with a
+	// burned placement are suspects — placed alone so a poison job can
+	// only take itself down — and quarantined once they burn
+	// maxPlacements.
+	placements  int
+	done        bool
+	quarantined bool
+}
+
+type queue struct {
+	mu            sync.Mutex
+	cond          *sync.Cond
+	pending       []string
+	st            map[string]*jobState
+	remaining     int
+	maxPlacements int
+	closed        bool
+	err           error
+	quarantined   []string
+}
+
+func newQueue(ids []string, maxPlacements int) *queue {
+	q := &queue{
+		pending:       append([]string(nil), ids...),
+		st:            make(map[string]*jobState, len(ids)),
+		remaining:     len(ids),
+		maxPlacements: maxPlacements,
+	}
+	for _, id := range ids {
+		q.st[id] = &jobState{}
+	}
+	q.cond = sync.NewCond(&q.mu)
+	if len(ids) == 0 {
+		q.closed = true
+	}
+	return q
+}
+
+// pop blocks until work is available — returning a chunk of up to max
+// job IDs — or the queue closes (ok=false). A suspect job is returned
+// alone, and never shares a chunk with clean jobs.
+func (q *queue) pop(max int) ([]string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.pending) == 0 {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	return q.popLocked(max), true
+}
+
+// tryPop is pop without blocking.
+func (q *queue) tryPop(max int) ([]string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.pending) == 0 {
+		return nil, false
+	}
+	return q.popLocked(max), true
+}
+
+func (q *queue) popLocked(max int) []string {
+	if max < 1 {
+		max = 1
+	}
+	take := 1
+	if q.st[q.pending[0]].placements == 0 {
+		for take < max && take < len(q.pending) && q.st[q.pending[take]].placements == 0 {
+			take++
+		}
+	}
+	chunk := make([]string, take)
+	copy(chunk, q.pending[:take])
+	q.pending = q.pending[take:]
+	return chunk
+}
+
+// ack marks one job durably merged. Idempotent — the merger dedups, so
+// a duplicate stream line acks a job that is already done.
+func (q *queue) ack(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s, ok := q.st[id]
+	if !ok || s.done {
+		return
+	}
+	s.done = true
+	q.remaining--
+	if q.remaining == 0 {
+		q.closed = true
+		q.cond.Broadcast()
+	}
+}
+
+// requeue gives a dead placement's un-acked jobs back. penalize marks
+// the placement as started-then-lost: each job burns one placement and
+// is quarantined once maxPlacements are burned. Placements that never
+// started (connection refused, shed) requeue without penalty — the
+// fault was the worker's, not possibly the job's.
+func (q *queue) requeue(ids []string, penalize bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, id := range ids {
+		s, ok := q.st[id]
+		if !ok || s.done || s.quarantined {
+			continue
+		}
+		if penalize {
+			s.placements++
+			if s.placements >= q.maxPlacements {
+				s.quarantined = true
+				q.quarantined = append(q.quarantined, id)
+				q.remaining--
+				continue
+			}
+		}
+		q.pending = append(q.pending, id)
+	}
+	if q.remaining == 0 {
+		q.closed = true
+	}
+	q.cond.Broadcast()
+}
+
+// fail records a fatal error (first one wins) and closes the queue.
+func (q *queue) fail(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// close shuts the queue for cancellation; pending jobs stay unfinished.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+func (q *queue) isClosed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+func (q *queue) failure() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+func (q *queue) quarantinedIDs() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]string(nil), q.quarantined...)
+}

@@ -1,0 +1,89 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestQueueSuspectsArePlacedAlone(t *testing.T) {
+	q := newQueue([]string{"a", "b", "c", "d"}, 3)
+	chunk, ok := q.pop(4)
+	if !ok || len(chunk) != 4 {
+		t.Fatalf("pop = %v, %v", chunk, ok)
+	}
+	// The placement started and died: every job burns a placement and
+	// becomes a suspect.
+	q.requeue(chunk, true)
+	for i := 0; i < 4; i++ {
+		chunk, ok = q.pop(4)
+		if !ok || len(chunk) != 1 {
+			t.Fatalf("suspect pop %d = %v, want a solo chunk", i, chunk)
+		}
+		q.ack(chunk[0])
+	}
+	if _, ok := q.pop(4); ok {
+		t.Fatal("queue did not close after all jobs acked")
+	}
+}
+
+func TestQueueQuarantineAfterMaxPlacements(t *testing.T) {
+	q := newQueue([]string{"poison", "fine"}, 2)
+	chunk, _ := q.pop(1) // "poison"
+	q.requeue(chunk, true)
+	if got := q.quarantinedIDs(); len(got) != 0 {
+		t.Fatalf("quarantined after one lost placement: %v", got)
+	}
+	chunk2, _ := q.pop(1) // "fine" (suspect "poison" went to the back)
+	q.ack(chunk2[0])
+	chunk, _ = q.pop(1) // "poison" again, solo
+	q.requeue(chunk, true)
+	if got := q.quarantinedIDs(); !reflect.DeepEqual(got, []string{"poison"}) {
+		t.Fatalf("quarantined = %v, want [poison]", got)
+	}
+	// Quarantine of the last live job closes the queue.
+	if _, ok := q.pop(1); ok {
+		t.Fatal("queue still open after last job quarantined")
+	}
+	// A quarantined job never comes back, even if re-queued again.
+	q.requeue([]string{"poison"}, true)
+	if _, ok := q.tryPop(1); ok {
+		t.Fatal("quarantined job re-entered the queue")
+	}
+}
+
+func TestQueueRequeueSkipsAckedJobs(t *testing.T) {
+	q := newQueue([]string{"a", "b"}, 3)
+	chunk, _ := q.pop(2)
+	q.ack("a")
+	q.requeue(chunk, false) // worker died; "a" already merged
+	got, ok := q.tryPop(2)
+	if !ok || !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("tryPop = %v, %v, want [b]", got, ok)
+	}
+}
+
+func TestQueuePopWakesOnCloseAndFail(t *testing.T) {
+	q := newQueue([]string{"a"}, 3)
+	if _, ok := q.pop(1); !ok {
+		t.Fatal("pop of live queue failed")
+	}
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.pop(1) // blocks: nothing pending, "a" leased
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.fail(errLeaseExpired)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop returned work from a failed queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake on fail")
+	}
+	if q.failure() == nil {
+		t.Fatal("failure not recorded")
+	}
+}

@@ -1,0 +1,64 @@
+package fabric
+
+import (
+	"context"
+	"strings"
+
+	"ftspm/internal/core"
+	"ftspm/internal/experiments"
+)
+
+// ParseWorkers parses a CLI worker list: comma-separated base URLs,
+// with a bare host:port defaulting to http.
+func ParseWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if !strings.Contains(w, "://") {
+			w = "http://" + w
+		}
+		out = append(out, strings.TrimRight(w, "/"))
+	}
+	return out
+}
+
+// RunSweep executes the full-suite sweep campaign across the fabric.
+// It returns the same (sweep, status, error) a local
+// experiments.RunSweepCampaign does — assembled by the same source, so
+// a distributed sweep is byte-identical to a single-node run.
+func RunSweep(ctx context.Context, cfg Config, opts experiments.Options) (*experiments.Sweep, *experiments.CampaignStatus, error) {
+	src, err := experiments.SweepSource(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, runErr := Run(ctx, cfg, src)
+	if raw == nil {
+		return nil, nil, runErr
+	}
+	sw, st, err := src.AssembleSweep(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sw, st, runErr
+}
+
+// RunSoak executes a soak campaign over the listed structures across
+// the fabric, mirroring experiments.RunSoakCampaign.
+func RunSoak(ctx context.Context, cfg Config, base experiments.SoakOptions, structures []core.Structure) ([]*experiments.SoakReport, *experiments.CampaignStatus, error) {
+	src, err := experiments.SoakSource(base, structures)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, runErr := Run(ctx, cfg, src)
+	if raw == nil {
+		return nil, nil, runErr
+	}
+	reports, st, err := src.AssembleSoak(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	return reports, st, runErr
+}

@@ -1,0 +1,114 @@
+// Package wire defines the fabric's worker protocol: the request a
+// coordinator POSTs to a worker's /v1/fabric endpoint and the NDJSON
+// lines the worker streams back. It lives below both internal/server
+// (which serves the endpoint) and internal/fabric (which drives it), so
+// neither imports the other.
+//
+// The protocol is deliberately thin. The coordinator never ships job
+// code — it ships the campaign options plus a list of job IDs, and the
+// worker re-derives the same experiments.JobSource locally. The
+// config hash pins both sides to the same derivation: a worker whose
+// source hashes differently (version skew, diverging defaults) refuses
+// the chunk with 409 instead of silently computing different results.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ftspm/internal/campaign"
+	"ftspm/internal/core"
+	"ftspm/internal/experiments"
+)
+
+// Request is the body of POST /v1/fabric: one chunk of a campaign's
+// job list, to be executed and streamed back line by line.
+type Request struct {
+	// Kind selects the campaign family: experiments.KindSweep or
+	// experiments.KindSoak.
+	Kind string `json:"kind"`
+	// Sweep holds the normalized sweep options (kind "sweep").
+	Sweep *experiments.Options `json:"sweep,omitempty"`
+	// Soak holds the normalized soak base options, and Structures the
+	// soaked structures by their canonical core.Structure.String()
+	// names (kind "soak").
+	Soak       *experiments.SoakOptions `json:"soak,omitempty"`
+	Structures []string                 `json:"structures,omitempty"`
+	// ConfigHash is the coordinator's campaign config hash. The worker
+	// re-derives its own from the options above and answers 409 on
+	// mismatch.
+	ConfigHash string `json:"config_hash"`
+	// JobIDs lists the jobs of this chunk, a subset of the campaign's
+	// job list. Unknown IDs are a 400.
+	JobIDs []string `json:"job_ids"`
+	// Parallel bounds the worker's sim pool for this chunk (0 =
+	// GOMAXPROCS).
+	Parallel int `json:"parallel,omitempty"`
+	// Retries and JobTimeoutMS bound each sim job as in the local
+	// campaign runner.
+	Retries      int   `json:"retries,omitempty"`
+	JobTimeoutMS int64 `json:"job_timeout_ms,omitempty"`
+}
+
+// JobResult is one finished job in journal form — exactly the record
+// the campaign checkpoint stores, so the coordinator can append it to
+// its own journal verbatim.
+type JobResult = campaign.Result[json.RawMessage]
+
+// Line is one NDJSON line of the worker's streamed response: a job
+// result, or the trailer that marks the chunk complete. A stream that
+// ends without a trailer was cut mid-chunk; the coordinator re-queues
+// whatever it has not seen.
+type Line struct {
+	Result *JobResult `json:"result,omitempty"`
+	Done   *Trailer   `json:"done,omitempty"`
+}
+
+// Trailer closes a chunk stream.
+type Trailer struct {
+	// Completed and Failed count this chunk's finished jobs by status.
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Error carries a worker-side campaign error (e.g. a drain caught
+	// the chunk mid-run); jobs missing from the stream are re-queued by
+	// the coordinator either way.
+	Error string `json:"error,omitempty"`
+}
+
+// ParseStructure resolves a canonical core.Structure.String() name.
+func ParseStructure(name string) (core.Structure, error) {
+	for _, s := range core.AllStructures() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", core.ErrUnknownStructure, name)
+}
+
+// Source re-derives the request's campaign job source. Both sides use
+// it: the coordinator to build the job list it shards, the worker to
+// rebuild — and hash-check — the same source from the wire options.
+func (r Request) Source() (*experiments.JobSource, error) {
+	switch r.Kind {
+	case experiments.KindSweep:
+		if r.Sweep == nil {
+			return nil, fmt.Errorf("wire: sweep request without sweep options")
+		}
+		return experiments.SweepSource(*r.Sweep)
+	case experiments.KindSoak:
+		if r.Soak == nil {
+			return nil, fmt.Errorf("wire: soak request without soak options")
+		}
+		structures := make([]core.Structure, len(r.Structures))
+		for i, name := range r.Structures {
+			s, err := ParseStructure(name)
+			if err != nil {
+				return nil, fmt.Errorf("wire: %w", err)
+			}
+			structures[i] = s
+		}
+		return experiments.SoakSource(*r.Soak, structures)
+	default:
+		return nil, fmt.Errorf("wire: unknown campaign kind %q", r.Kind)
+	}
+}

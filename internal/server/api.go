@@ -156,6 +156,24 @@ type ErrorResponse struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
+// HealthStatus is the body of GET /healthz: liveness plus the load
+// signals the fabric coordinator uses for load-aware chunk placement.
+type HealthStatus struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	// Breaker mirrors the /readyz circuit-breaker state ("closed" or
+	// "open").
+	Breaker string `json:"breaker"`
+	// InFlightJobs counts executing work units: running async jobs plus
+	// fabric chunks.
+	InFlightJobs int64 `json:"in_flight_jobs"`
+	// Evaluate, Campaign, and Fabric report per-class admission
+	// backlog.
+	Evaluate ClassStatus `json:"evaluate"`
+	Campaign ClassStatus `json:"campaign"`
+	Fabric   ClassStatus `json:"fabric"`
+}
+
 // ReadyStatus is the body of GET /readyz.
 type ReadyStatus struct {
 	Ready    bool        `json:"ready"`

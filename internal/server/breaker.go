@@ -49,13 +49,13 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	return c
 }
 
-// breaker is the /readyz circuit breaker: it trips open — reporting the
+// Breaker is the /readyz circuit breaker: it trips open — reporting the
 // instance not ready so load balancers steer traffic away — when the
 // recent error rate spikes or admission is shedding hard (pool
 // saturation), and closes again after a cooldown with fresh state.
 // Request handling itself is never blocked by the breaker; readiness is
 // advisory, which is the standard contract of /readyz.
-type breaker struct {
+type Breaker struct {
 	cfg BreakerConfig
 	now func() time.Time
 
@@ -69,17 +69,17 @@ type breaker struct {
 	trips     uint64
 }
 
-func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
 	cfg = cfg.withDefaults()
 	if now == nil {
 		now = time.Now
 	}
-	return &breaker{cfg: cfg, now: now, outcomes: make([]bool, cfg.Window)}
+	return &Breaker{cfg: cfg, now: now, outcomes: make([]bool, cfg.Window)}
 }
 
-// recordOutcome feeds one finished request into the error-rate window.
+// RecordOutcome feeds one finished request into the error-rate window.
 // Client errors (4xx) are not outcomes — only server-side results.
-func (b *breaker) recordOutcome(isErr bool) {
+func (b *Breaker) RecordOutcome(isErr bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.filled == len(b.outcomes) && b.outcomes[b.next] {
@@ -99,9 +99,9 @@ func (b *breaker) recordOutcome(isErr bool) {
 	}
 }
 
-// recordShed feeds one load-shedding rejection into the saturation
+// RecordShed feeds one load-shedding rejection into the saturation
 // window.
-func (b *breaker) recordShed() {
+func (b *Breaker) RecordShed() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	now := b.now()
@@ -120,7 +120,7 @@ func (b *breaker) recordShed() {
 
 // tripLocked opens the breaker for the cooldown and resets the windows
 // so the half-open period starts from a clean slate.
-func (b *breaker) tripLocked() {
+func (b *Breaker) tripLocked() {
 	b.openUntil = b.now().Add(b.cfg.Cooldown)
 	b.trips++
 	for i := range b.outcomes {
@@ -130,16 +130,16 @@ func (b *breaker) tripLocked() {
 	b.sheds = b.sheds[:0]
 }
 
-// ready reports whether the breaker is closed.
-func (b *breaker) ready() bool {
+// Ready reports whether the breaker is closed.
+func (b *Breaker) Ready() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return !b.now().Before(b.openUntil)
 }
 
-// state renders the breaker for /readyz ("closed" or "open").
-func (b *breaker) state() string {
-	if b.ready() {
+// State renders the breaker for /readyz ("closed" or "open").
+func (b *Breaker) State() string {
+	if b.Ready() {
 		return "closed"
 	}
 	return "open"

@@ -40,43 +40,43 @@ var testBreakerCfg = BreakerConfig{
 
 func TestBreakerErrorRateTrip(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(testBreakerCfg, clk.now)
+	b := NewBreaker(testBreakerCfg, clk.now)
 	// Below MinSamples nothing trips, even at 100% errors.
 	for i := 0; i < 3; i++ {
-		b.recordOutcome(true)
-		if !b.ready() {
+		b.RecordOutcome(true)
+		if !b.Ready() {
 			t.Fatalf("tripped after %d samples, below MinSamples=4", i+1)
 		}
 	}
-	b.recordOutcome(true) // 4/4 errors ≥ 0.5
-	if b.ready() {
+	b.RecordOutcome(true) // 4/4 errors ≥ 0.5
+	if b.Ready() {
 		t.Fatal("breaker should be open after error-rate trip")
 	}
-	if got := b.state(); got != "open" {
+	if got := b.State(); got != "open" {
 		t.Fatalf("state = %q, want open", got)
 	}
 	clk.advance(61 * time.Second)
-	if !b.ready() {
+	if !b.Ready() {
 		t.Fatal("breaker should close after the cooldown")
 	}
 	// Trip resets the window: old errors must not linger into the
 	// half-open period.
-	b.recordOutcome(true)
-	b.recordOutcome(true)
-	b.recordOutcome(true)
-	if !b.ready() {
+	b.RecordOutcome(true)
+	b.RecordOutcome(true)
+	b.RecordOutcome(true)
+	if !b.Ready() {
 		t.Fatal("post-cooldown window should have restarted from zero samples")
 	}
 }
 
 func TestBreakerMixedOutcomesBelowRate(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(testBreakerCfg, clk.now)
+	b := NewBreaker(testBreakerCfg, clk.now)
 	// Errors interleaved below the 0.5 rate at every prefix: stays
 	// closed.
 	for i := 0; i < 9; i++ {
-		b.recordOutcome(i%3 == 2)
-		if !b.ready() {
+		b.RecordOutcome(i%3 == 2)
+		if !b.Ready() {
 			t.Fatalf("tripped at sample %d with error rate below threshold", i+1)
 		}
 	}
@@ -84,31 +84,31 @@ func TestBreakerMixedOutcomesBelowRate(t *testing.T) {
 
 func TestBreakerShedSaturationTrip(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(testBreakerCfg, clk.now)
-	b.recordShed()
-	b.recordShed()
-	if !b.ready() {
+	b := NewBreaker(testBreakerCfg, clk.now)
+	b.RecordShed()
+	b.RecordShed()
+	if !b.Ready() {
 		t.Fatal("two sheds must not trip (ShedTrip=3)")
 	}
-	b.recordShed()
-	if b.ready() {
+	b.RecordShed()
+	if b.Ready() {
 		t.Fatal("three sheds inside the window should trip")
 	}
 }
 
 func TestBreakerShedWindowPrunes(t *testing.T) {
 	clk := newFakeClock()
-	b := newBreaker(testBreakerCfg, clk.now)
-	b.recordShed()
-	b.recordShed()
+	b := NewBreaker(testBreakerCfg, clk.now)
+	b.RecordShed()
+	b.RecordShed()
 	clk.advance(6 * time.Second) // both fall out of the 5s window
-	b.recordShed()
-	b.recordShed()
-	if !b.ready() {
+	b.RecordShed()
+	b.RecordShed()
+	if !b.Ready() {
 		t.Fatal("stale sheds outside ShedWindow must not count toward the trip")
 	}
-	b.recordShed()
-	if b.ready() {
+	b.RecordShed()
+	if b.Ready() {
 		t.Fatal("three fresh sheds should trip")
 	}
 }

@@ -55,10 +55,12 @@ type Config struct {
 type Client struct {
 	cfg Config
 
-	// sleep and jitter are test seams: the retry delay actuator and the
-	// jitter transform (default: uniform in [d/2, d]).
+	// sleep, jitter, and now are test seams: the retry delay actuator,
+	// the jitter transform (default: uniform in [d/2, d]), and the
+	// clock HTTP-date Retry-After values are measured against.
 	sleep  func(ctx context.Context, d time.Duration) error
 	jitter func(d time.Duration) time.Duration
+	now    func() time.Time
 }
 
 // New builds a Client for the daemon at cfg.BaseURL.
@@ -96,6 +98,7 @@ func New(cfg Config) (*Client, error) {
 		jitter: func(d time.Duration) time.Duration {
 			return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 		},
+		now: time.Now,
 	}, nil
 }
 
@@ -152,6 +155,14 @@ func (c *Client) Ready(ctx context.Context) (server.ReadyStatus, error) {
 	if errors.As(err, &se) && se.Code == http.StatusServiceUnavailable {
 		return server.ReadyStatus{Ready: false, Draining: true}, nil
 	}
+	return out, err
+}
+
+// Healthz fetches /healthz: liveness plus the load signals the fabric
+// coordinator uses for placement.
+func (c *Client) Healthz(ctx context.Context) (server.HealthStatus, error) {
+	var out server.HealthStatus
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
 	return out, err
 }
 
@@ -220,10 +231,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if attempt >= c.cfg.MaxRetries {
 			return fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
-		delay := c.jitter(backoff)
-		if retryAfter > delay {
-			// The server knows its backlog better than our schedule does.
-			delay = retryAfter
+		delay, derr := c.retryDelay(ctx, backoff, retryAfter, lastErr)
+		if derr != nil {
+			return derr
 		}
 		if err := c.sleep(ctx, delay); err != nil {
 			return fmt.Errorf("client: %w (last failure: %v)", err, lastErr)
@@ -232,6 +242,24 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			backoff = c.cfg.MaxBackoff
 		}
 	}
+}
+
+// retryDelay picks the wait before the next attempt: the jittered
+// backoff, overridden by a server Retry-After hint (the server knows
+// its backlog better than our schedule does), but never past the
+// request deadline — a delay the deadline cannot absorb fails now
+// instead of sleeping into certain failure.
+func (c *Client) retryDelay(ctx context.Context, backoff, retryAfter time.Duration, lastErr error) (time.Duration, error) {
+	delay := c.jitter(backoff)
+	if retryAfter > delay {
+		delay = retryAfter
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := dl.Sub(c.now()); delay >= remaining {
+			return 0, fmt.Errorf("client: retry delay %v exceeds request deadline: %w", delay, lastErr)
+		}
+	}
+	return delay, nil
 }
 
 // send runs exactly one HTTP exchange.
@@ -259,11 +287,7 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, out
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		se := &StatusError{Code: resp.StatusCode}
 		_ = json.Unmarshal(data, &se.Body) // non-JSON error bodies keep the status text
-		if h := resp.Header.Get("Retry-After"); h != "" {
-			if secs, perr := strconv.ParseInt(h, 10, 64); perr == nil && secs > 0 {
-				se.RetryAfter = time.Duration(secs) * time.Second
-			}
-		}
+		se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.now())
 		return resp, se
 	}
 	if out != nil {
@@ -272,4 +296,25 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, out
 		}
 	}
 	return resp, nil
+}
+
+// parseRetryAfter parses a Retry-After header value in either RFC 9110
+// form — delta-seconds or an HTTP-date, measured against now. Absent,
+// unparseable, or already-elapsed values yield 0.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseInt(h, 10, 64); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

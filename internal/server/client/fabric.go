@@ -1,0 +1,88 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ftspm/internal/fabric/wire"
+)
+
+// FabricStream is an open /v1/fabric chunk stream: one wire.Line per
+// Next call until the trailer (Done) line or a stream error. The
+// caller owns Close.
+type FabricStream struct {
+	resp *http.Response
+	dec  *json.Decoder
+}
+
+// Next decodes the next streamed line. io.EOF (or any other decode
+// error) before a trailer line means the stream was cut mid-chunk —
+// the worker died or the connection dropped — and the caller re-queues
+// whatever it has not received.
+func (s *FabricStream) Next() (wire.Line, error) {
+	var line wire.Line
+	err := s.dec.Decode(&line)
+	return line, err
+}
+
+// Close releases the stream's connection.
+func (s *FabricStream) Close() error { return s.resp.Body.Close() }
+
+// Fabric opens a chunk-execution stream on the worker. Pre-stream
+// rejections (429 shed, 503 drain) are retried with the client's
+// backoff policy — the worker guarantees they precede any execution —
+// while errors after the stream opens are the caller's to handle, since
+// results may already be in flight. A non-retryable status returns a
+// *StatusError (409 = config-hash mismatch, i.e. version skew).
+func (c *Client) Fabric(ctx context.Context, freq wire.Request) (*FabricStream, error) {
+	body, err := json.Marshal(freq)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode fabric request: %w", err)
+	}
+	backoff := c.cfg.BaseBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.cfg.BaseURL+"/v1/fabric", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("client: build fabric request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.cfg.HTTPClient.Do(req)
+		if err != nil {
+			// Transport failure on a POST: whether the worker started the
+			// chunk is unknowable here. The fabric treats it as a dead
+			// worker and re-queues, so no blind retry.
+			return nil, fmt.Errorf("client: POST /v1/fabric: %w", err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			return &FabricStream{resp: resp, dec: json.NewDecoder(resp.Body)}, nil
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		se := &StatusError{Code: resp.StatusCode}
+		_ = json.Unmarshal(data, &se.Body)
+		se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.now())
+		lastErr = se
+		if !retryable(se.Code) {
+			return nil, se
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		delay, derr := c.retryDelay(ctx, backoff, se.RetryAfter, lastErr)
+		if derr != nil {
+			return nil, derr
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, fmt.Errorf("client: %w (last failure: %v)", err, lastErr)
+		}
+		if backoff *= 2; backoff > c.cfg.MaxBackoff {
+			backoff = c.cfg.MaxBackoff
+		}
+	}
+}

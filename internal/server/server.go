@@ -36,6 +36,12 @@ type Config struct {
 	MaxCampaigns int
 	// CampaignQueue bounds queued campaign jobs (4).
 	CampaignQueue int
+	// MaxFabric bounds concurrently-executing fabric chunks (1).
+	MaxFabric int
+	// FabricQueue bounds fabric chunks waiting for a slot; beyond it
+	// the worker sheds with 429 so the coordinator places the chunk
+	// elsewhere (2).
+	FabricQueue int
 	// DefaultTimeout is the evaluate deadline when the request does not
 	// carry one (30s); MaxTimeout clamps client-supplied deadlines
 	// (2m).
@@ -63,6 +69,12 @@ func (c Config) withDefaults() Config {
 	if c.CampaignQueue <= 0 {
 		c.CampaignQueue = 4
 	}
+	if c.MaxFabric <= 0 {
+		c.MaxFabric = 1
+	}
+	if c.FabricQueue <= 0 {
+		c.FabricQueue = 2
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -83,7 +95,8 @@ type Server struct {
 	cfg     Config
 	evalLim *limiter
 	campLim *limiter
-	brk     *breaker
+	fabLim  *limiter
+	brk     *Breaker
 	jobs    *jobSet
 	mux     *http.ServeMux
 
@@ -91,6 +104,9 @@ type Server struct {
 	baseCancel context.CancelCauseFunc
 	wg         sync.WaitGroup
 	draining   atomic.Bool
+	// inFlight counts executing work units — running async jobs plus
+	// fabric chunks — for the /healthz load report.
+	inFlight atomic.Int64
 
 	// nowFn and evalFn are test seams: the clock, and the synchronous
 	// evaluation body (replaced by overload tests with gated stubs).
@@ -111,16 +127,18 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		evalLim: newLimiter("evaluate", cfg.MaxEvaluate, cfg.EvaluateQueue),
 		campLim: newLimiter("campaign", cfg.MaxCampaigns, cfg.CampaignQueue),
+		fabLim:  newLimiter("fabric", cfg.MaxFabric, cfg.FabricQueue),
 		jobs:    newJobSet(),
 		nowFn:   time.Now,
 	}
-	s.brk = newBreaker(cfg.Breaker, func() time.Time { return s.nowFn() })
+	s.brk = NewBreaker(cfg.Breaker, func() time.Time { return s.nowFn() })
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	s.evalFn = s.evaluate
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/soak", s.handleSoak)
+	s.mux.HandleFunc("POST /v1/fabric", s.handleFabric)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -136,7 +154,7 @@ func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				s.brk.recordOutcome(true)
+				s.brk.RecordOutcome(true)
 				// Best-effort: if the handler already wrote, this is a no-op.
 				writeJSON(w, http.StatusInternalServerError, ErrorResponse{
 					Error: fmt.Sprintf("internal panic: %v", p),
@@ -225,7 +243,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 
 	sl, admitErr := s.evalLim.admit()
 	if admitErr != nil {
-		s.brk.recordShed()
+		s.brk.RecordShed()
 		writeError(w, http.StatusTooManyRequests, "evaluate queue full",
 			s.evalLim.retryAfter(s.cfg.RetryAfter))
 		return
@@ -233,7 +251,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if err := sl.wait(ctx); err != nil {
 		// Admitted but the deadline ran out in the queue: saturation,
 		// not a server fault.
-		s.brk.recordShed()
+		s.brk.RecordShed()
 		writeError(w, http.StatusServiceUnavailable, "deadline exceeded while queued",
 			s.evalLim.retryAfter(s.cfg.RetryAfter))
 		return
@@ -245,7 +263,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			s.brk.recordOutcome(true)
+			s.brk.RecordOutcome(true)
 			writeError(w, http.StatusGatewayTimeout, "evaluation deadline exceeded", 0)
 		case errors.Is(err, context.Canceled):
 			// The client went away; the response is a formality.
@@ -253,12 +271,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, experiments.ErrUnknownWorkload):
 			writeError(w, http.StatusBadRequest, err.Error(), 0)
 		default:
-			s.brk.recordOutcome(true)
+			s.brk.RecordOutcome(true)
 			writeError(w, http.StatusInternalServerError, err.Error(), 0)
 		}
 		return
 	}
-	s.brk.recordOutcome(false)
+	s.brk.RecordOutcome(false)
 	resp.ElapsedMS = s.nowFn().Sub(start).Milliseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -390,7 +408,7 @@ func (s *Server) submitJob(w http.ResponseWriter, kind, requestedCkpt string,
 	}
 	sl, admitErr := s.campLim.admit()
 	if admitErr != nil {
-		s.brk.recordShed()
+		s.brk.RecordShed()
 		writeError(w, http.StatusTooManyRequests, "campaign queue full",
 			s.campLim.retryAfter(s.cfg.RetryAfter))
 		return
@@ -421,7 +439,7 @@ func (s *Server) runJob(j *job, sl *slot, jctx context.Context,
 	defer s.wg.Done()
 	defer func() {
 		if p := recover(); p != nil {
-			s.brk.recordOutcome(true)
+			s.brk.RecordOutcome(true)
 			j.finish(s.nowFn(), JobFailed,
 				fmt.Sprintf("panic: %v\n%s", p, debug.Stack()), nil, false)
 		}
@@ -440,10 +458,12 @@ func (s *Server) runJob(j *job, sl *slot, jctx context.Context,
 	defer sl.release()
 
 	j.setRunning(s.nowFn())
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
 	payload, err := fn(jctx, filepath.Join(s.cfg.DataDir, j.checkpoint))
 	switch {
 	case err == nil:
-		s.brk.recordOutcome(false)
+		s.brk.RecordOutcome(false)
 		j.finish(s.nowFn(), JobDone, "", payload, false)
 	case errors.Is(err, campaign.ErrIncomplete):
 		// Drained or canceled mid-campaign: finished sim jobs are
@@ -455,7 +475,7 @@ func (s *Server) runJob(j *job, sl *slot, jctx context.Context,
 		}
 		j.finish(s.nowFn(), state, err.Error(), payload, true)
 	default:
-		s.brk.recordOutcome(true)
+		s.brk.RecordOutcome(true)
 		j.finish(s.nowFn(), JobFailed, err.Error(), payload, false)
 	}
 }
@@ -487,14 +507,27 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// handleHealthz is the liveness endpoint, extended with the load
+// signals the fabric coordinator's health probe uses for load-aware
+// placement: in-flight work, per-class admission backlog, and breaker
+// state. A live-but-loaded worker still answers 200 — load steers
+// placement, it does not fail the probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, HealthStatus{
+		Status:       "ok",
+		Draining:     s.draining.Load(),
+		Breaker:      s.brk.State(),
+		InFlightJobs: s.inFlight.Load(),
+		Evaluate:     s.evalLim.status(),
+		Campaign:     s.campLim.status(),
+		Fabric:       s.fabLim.status(),
+	})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	st := ReadyStatus{
 		Draining: s.draining.Load(),
-		Breaker:  s.brk.state(),
+		Breaker:  s.brk.State(),
 		Evaluate: s.evalLim.status(),
 		Campaign: s.campLim.status(),
 	}

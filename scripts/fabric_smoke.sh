@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# fabric_smoke.sh — process-level smoke test of the distributed fabric.
+#
+# Builds the real binaries, runs a single-node golden soak, then shards
+# the same campaign across 3 real ftspmd workers — SIGKILLing one of
+# them mid-campaign — and asserts the merged distributed report is
+# byte-for-byte identical to the single-node golden. This is the
+# acceptance check of the fabric: fault-tolerant sharding must be
+# invisible in the results.
+set -u
+
+DIR=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$DIR"' EXIT
+
+# Real binaries: the SIGKILL must hit a real ftspmd process.
+go build -o "$DIR/ftspmd" ./cmd/ftspmd || exit 1
+go build -o "$DIR/ftspm-soak" ./cmd/ftspm-soak || exit 1
+
+ARGS=(-structures ftspm,sram,stt -trials 150 -scale 0.05 -strike 0.01 -seed 11)
+
+echo "== single-node golden"
+"$DIR/ftspm-soak" "${ARGS[@]}" -json "$DIR/golden.json" >"$DIR/golden.out" 2>&1 || {
+  echo "golden run failed"; cat "$DIR/golden.out"; exit 1; }
+
+echo "== start 3 ftspmd workers"
+PORTS=(8171 8172 8173)
+PIDS=()
+for p in "${PORTS[@]}"; do
+  "$DIR/ftspmd" -listen "127.0.0.1:$p" -data "$DIR/data$p" >"$DIR/daemon$p.log" 2>&1 &
+  PIDS+=($!)
+done
+for p in "${PORTS[@]}"; do
+  ok=
+  for _ in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:$p/readyz" >/dev/null 2>&1 && { ok=1; break; }
+    sleep 0.1
+  done
+  [ -n "$ok" ] || { echo "worker on :$p never became ready"; cat "$DIR/daemon$p.log"; exit 1; }
+done
+
+echo "== distributed run, SIGKILL one worker mid-campaign"
+"$DIR/ftspm-soak" "${ARGS[@]}" \
+  -workers 127.0.0.1:8171,127.0.0.1:8172,127.0.0.1:8173 \
+  -lease 5s -checkpoint "$DIR/dist.ckpt" -json "$DIR/dist.json" \
+  >"$DIR/dist.out" 2>"$DIR/dist.err" &
+RUN=$!
+
+# Wait until the coordinator has journaled some merged results, then
+# SIGKILL the third worker mid-soak.
+KILLED=
+for _ in $(seq 1 400); do
+  if [ -f "$DIR/dist.ckpt" ] && [ "$(wc -l <"$DIR/dist.ckpt")" -ge 20 ]; then
+    kill -KILL "${PIDS[2]}"
+    KILLED=1
+    echo "   SIGKILLed worker :8173 at $(wc -l <"$DIR/dist.ckpt") journaled lines"
+    break
+  fi
+  kill -0 "$RUN" 2>/dev/null || break
+  sleep 0.05
+done
+[ -n "$KILLED" ] || { echo "campaign finished before the kill; increase -trials"; exit 1; }
+
+wait "$RUN"
+STATUS=$?
+[ "$STATUS" = 0 ] || {
+  echo "distributed run exited $STATUS, want 0 (survivors must absorb the killed worker's jobs)"
+  cat "$DIR/dist.out" "$DIR/dist.err"; exit 1; }
+
+# The coordinator must have noticed and reported the dead worker.
+grep -q "127.0.0.1:8173" "$DIR/dist.err" || {
+  echo "coordinator never reported the killed worker:"; cat "$DIR/dist.err"; exit 1; }
+
+echo "== byte-compare distributed vs single-node report"
+cmp "$DIR/golden.json" "$DIR/dist.json" || {
+  echo "distributed report differs from single-node golden"
+  head -50 "$DIR/golden.json" "$DIR/dist.json"; exit 1; }
+
+echo "fabric smoke OK (3 workers, one SIGKILLed mid-soak, byte-identical report)"

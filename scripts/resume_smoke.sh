@@ -17,7 +17,7 @@ go build -o "$DIR/ftspm-soak" ./cmd/ftspm-soak || exit 1
 SOAK="$DIR/ftspm-soak"
 
 # Big enough that the SIGTERM lands mid-campaign, small enough for CI.
-ARGS=(-structures ftspm,sram,stt -trials 6 -scale 0.05 -strike 0.01 -seed 11 -workers 2)
+ARGS=(-structures ftspm,sram,stt -trials 6 -scale 0.05 -strike 0.01 -seed 11 -parallel 2)
 
 echo "== golden (uninterrupted) run"
 $SOAK "${ARGS[@]}" -json "$DIR/golden.json" >"$DIR/golden.log" || {
