@@ -15,6 +15,7 @@
 //	            [-checkpoint sweep.ckpt] [-resume]
 //	            [-parallel N] [-retries N] [-job-timeout d]
 //	            [-workers host1:8077,host2:8077] [-lease 60s]
+//	            [-audit-frac 0.1] [-audit-seed 0]
 //
 // With -workers the sweep campaign is sharded across the listed ftspmd
 // daemons by the distributed fabric (internal/fabric); the merged sweep
@@ -111,6 +112,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "sweep worker pool size, local or per fabric chunk (0: GOMAXPROCS)")
 	workers := fs.String("workers", "", "comma-separated ftspmd worker URLs: distribute the sweep over the fabric")
 	lease := fs.Duration("lease", 0, "fabric heartbeat lease before a silent worker is declared dead (0: 60s)")
+	auditFrac := fs.Float64("audit-frac", 0, "fraction of fabric results to audit by re-execution on a different executor (0 disables)")
+	auditSeed := fs.Int64("audit-seed", 0, "seed for the deterministic audit job selection")
 	retries := fs.Int("retries", 0, "per-job retries before a sweep job is recorded failed")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline for sweep jobs (0: none)")
 	if err := fs.Parse(args); err != nil {
@@ -118,6 +121,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *scale <= 0 {
 		return campaign.Usagef("-scale must be > 0 (got %g)", *scale)
+	}
+	if *auditFrac < 0 || *auditFrac > 1 {
+		return campaign.Usagef("-audit-frac must be a probability in [0, 1] (got %g)", *auditFrac)
+	}
+	if *auditFrac > 0 && *workers == "" {
+		return campaign.Usagef("-audit-frac requires -workers (audits re-execute fabric results)")
 	}
 	cc := experiments.CampaignConfig{
 		Checkpoint: *checkpoint,
@@ -251,6 +260,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			JobTimeout: *jobTimeout,
 			Checkpoint: *checkpoint,
 			Resume:     *resume,
+			AuditFrac:  *auditFrac,
+			AuditSeed:  *auditSeed,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "ftspm-bench: "+format+"\n", args...)
 			},
@@ -264,6 +275,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if status.Resumed > 0 {
 		fmt.Fprintf(out, "resumed %d finished jobs from %s\n", status.Resumed, *checkpoint)
 	}
+	fabric.PrintAuditSummary(out, status)
 	if runErr != nil || status.Failed > 0 {
 		return salvageSweep(out, sw, status, *jsonPath, runErr)
 	}

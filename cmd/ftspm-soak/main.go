@@ -21,6 +21,7 @@
 //	           [-lanes 0] [-checkpoint soak.ckpt] [-resume]
 //	           [-parallel N] [-retries N] [-job-timeout d]
 //	           [-workers host1:8077,host2:8077] [-lease 60s]
+//	           [-audit-frac 0.1] [-audit-seed 0]
 //	           [-cpuprofile f] [-memprofile f] [-perfjson f]
 //
 // With -workers the campaign is sharded across the listed ftspmd
@@ -29,6 +30,10 @@
 // poison-job quarantine, and local-execution fallback when every
 // worker is down. The merged reports — and the -checkpoint journal —
 // are byte-identical to a single-node run of the same campaign.
+// -audit-frac re-executes a deterministic fraction of fabric results on
+// a different executor: a divergence convicts the origin worker,
+// quarantines it, and re-runs every result of its that the audit had
+// not already confirmed (see DESIGN.md §15).
 //
 // -lanes controls the bit-parallel packed engine (internal/simd): 0
 // (the default) packs up to 64 trials per trace pass, 1 forces the
@@ -182,6 +187,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "trial worker pool size, local or per fabric chunk (0: GOMAXPROCS)")
 	workers := fs.String("workers", "", "comma-separated ftspmd worker URLs: distribute the campaign over the fabric")
 	lease := fs.Duration("lease", 0, "fabric heartbeat lease before a silent worker is declared dead (0: 60s)")
+	auditFrac := fs.Float64("audit-frac", 0, "fraction of fabric results to audit by re-execution on a different executor (0 disables)")
+	auditSeed := fs.Int64("audit-seed", 0, "seed for the deterministic audit job selection")
 	retries := fs.Int("retries", 0, "per-trial retries before a trial is recorded failed")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-trial deadline (0: none)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -198,6 +205,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *strike < 0 || *strike > 1 {
 		return campaign.Usagef("-strike must be a probability in [0, 1] (got %g)", *strike)
+	}
+	if *auditFrac < 0 || *auditFrac > 1 {
+		return campaign.Usagef("-audit-frac must be a probability in [0, 1] (got %g)", *auditFrac)
+	}
+	if *auditFrac > 0 && *workers == "" {
+		return campaign.Usagef("-audit-frac requires -workers (audits re-execute fabric results)")
 	}
 	cc := experiments.CampaignConfig{
 		Checkpoint: *checkpoint,
@@ -292,6 +305,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			JobTimeout: *jobTimeout,
 			Checkpoint: *checkpoint,
 			Resume:     *resume,
+			AuditFrac:  *auditFrac,
+			AuditSeed:  *auditSeed,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "ftspm-soak: "+format+"\n", args...)
 			},
@@ -317,6 +332,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%s\n", f.Stack)
 		}
 	}
+	fabric.PrintAuditSummary(out, status)
 
 	t := report.New("\nSoak campaign",
 		"Structure", "Strikes", "Recovered/strike", "DUE/strike", "SDC/strike",

@@ -32,7 +32,7 @@
 //	       [-max-evaluate N] [-evaluate-queue N]
 //	       [-max-campaigns N] [-campaign-queue N]
 //	       [-default-timeout 30s] [-max-timeout 2m]
-//	       [-drain-timeout 1m] [-scale 1.0]
+//	       [-drain-timeout 1m] [-scale 1.0] [-chaos-corrupt 0]
 //
 // Exit status: 0 success (including a clean drain), 1 error, 2 bad
 // flags.
@@ -80,6 +80,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxTimeout := fs.Duration("max-timeout", 0, "ceiling for client-requested deadlines (0 = default)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "grace period for in-flight work on shutdown")
 	scale := fs.Float64("scale", 0, "default trace scale for evaluate/sweep (0 = engine default)")
+	chaosCorrupt := fs.Float64("chaos-corrupt", 0, "TESTING ONLY: silently corrupt this fraction of fabric result payloads (byzantine-worker drill)")
 	if err := fs.Parse(args); err != nil {
 		return campaign.Usagef("%v", err)
 	}
@@ -88,17 +89,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	srv, err := server.New(server.Config{
-		DataDir:        *data,
-		MaxEvaluate:    *maxEval,
-		EvaluateQueue:  *evalQueue,
-		MaxCampaigns:   *maxCamp,
-		CampaignQueue:  *campQueue,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		DefaultScale:   *scale,
+		DataDir:          *data,
+		MaxEvaluate:      *maxEval,
+		EvaluateQueue:    *evalQueue,
+		MaxCampaigns:     *maxCamp,
+		CampaignQueue:    *campQueue,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		DefaultScale:     *scale,
+		ChaosCorruptFrac: *chaosCorrupt,
 	})
 	if err != nil {
 		return err
+	}
+	if *chaosCorrupt > 0 {
+		fmt.Fprintf(out, "ftspmd: CHAOS: corrupting %.2g of fabric result payloads — never use this daemon for real results\n", *chaosCorrupt)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -42,6 +42,12 @@ const (
 	// StatusFailed marks a job that exhausted its retry budget
 	// (failed-permanent); it is journaled and never retried on resume.
 	StatusFailed Status = "failed"
+	// StatusInvalidated is a journal tombstone, never a live result: it
+	// revokes an earlier record for the same job (the fabric writes one
+	// when a worker is convicted of returning divergent results), so a
+	// resumed run re-executes the job instead of trusting the revoked
+	// record.
+	StatusInvalidated Status = "invalidated"
 )
 
 // Job is one unit of work. Run receives a context carrying only the
@@ -144,6 +150,40 @@ type Report[R any] struct {
 	// cancelled mid-flight, in dispatch order. Pending jobs are not
 	// journaled, so a resumed run retries them.
 	PendingIDs []string
+	// Audit summarizes the integrity audit pass of executors that
+	// re-execute a fraction of finished jobs (the distributed fabric);
+	// nil for plain local runs.
+	Audit *AuditSummary
+}
+
+// AuditSummary reports an executor's audit re-execution pass: how many
+// finished jobs were independently re-executed, how many matched, and
+// every divergence — the SDC-shaped failure the audit exists to catch.
+type AuditSummary struct {
+	// Audited and Passed count audit re-executions and the subset whose
+	// payload matched the original result byte for byte.
+	Audited int `json:"audited"`
+	Passed  int `json:"passed"`
+	// Invalidated counts merged results revoked because their producer
+	// was convicted (journaled as StatusInvalidated tombstones and
+	// re-executed elsewhere).
+	Invalidated int `json:"invalidated"`
+	// SuspectWorkers lists convicted workers.
+	SuspectWorkers []string `json:"suspect_workers,omitempty"`
+	// Divergences itemizes every audit mismatch.
+	Divergences []AuditDivergence `json:"divergences,omitempty"`
+}
+
+// AuditDivergence is one audit mismatch: a job whose re-execution
+// produced a different payload than the merged result.
+type AuditDivergence struct {
+	// JobID names the diverging job; Worker the convicted producer.
+	JobID  string `json:"job_id"`
+	Worker string `json:"worker"`
+	// GotSum is the attestation sum of the merged (revoked) result;
+	// WantSum the sum of the trusted re-execution.
+	GotSum  string `json:"got_sum"`
+	WantSum string `json:"want_sum"`
 }
 
 // Incomplete reports whether the campaign was drained before every job
@@ -415,6 +455,7 @@ func DecodeReport[R any](raw *Report[json.RawMessage]) (*Report[R], error) {
 		Failed:     raw.Failed,
 		Resumed:    raw.Resumed,
 		PendingIDs: raw.PendingIDs,
+		Audit:      raw.Audit,
 	}
 	for id, r := range raw.Results {
 		var v R

@@ -7,22 +7,37 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 )
 
 // The checkpoint is an append-only JSONL journal: a header line
-// carrying the campaign's config hash, then one line per finished job.
-// Records are written in a single Write call and fsynced before the job
-// counts as finished, so after a crash the journal holds at most one
-// torn trailing line, which load tolerates (the file is truncated back
-// to the last complete record before appending resumes). Everything
-// else about the file is strict: a corrupt non-trailing line or a
-// config-hash mismatch is a hard error, never silent reuse.
+// carrying the format version and the campaign's config hash, then one
+// line per finished job. Records are written in a single Write call and
+// fsynced before the job counts as finished, so after a crash the
+// journal holds at most one torn trailing line, which load tolerates
+// (the file is truncated back to the last complete record before
+// appending resumes).
+//
+// Format v2 makes the journal self-verifying: every record line wraps
+// the result in an envelope carrying a CRC32C and the canonical SHA-256
+// attestation of the result bytes. That lets load distinguish the two
+// corruption shapes the FTSPM taxonomy cares about: a torn tail (the
+// crash interrupted an append — detectable, safe to truncate, a DUE)
+// versus mid-file bitrot (a record that was once durable no longer
+// checksums — silent data corruption surfaced as a hard error naming
+// the byte offset, never silently truncated or reused). v1 journals
+// (no envelopes) remain readable and are appended to in v1 form, so a
+// resumed v1 campaign stays parseable end to end.
 
-// journalVersion is the checkpoint format version; bumped on
-// incompatible record changes so stale journals fail loudly.
-const journalVersion = 1
+// Journal format versions. New journals are written at journalVersion;
+// journalV1 files are read- and append-compatible.
+const (
+	journalV1      = 1
+	journalV2      = 2
+	journalVersion = journalV2
+)
 
 // Errors returned by the checkpoint layer.
 var (
@@ -36,8 +51,13 @@ var (
 	// under a different campaign configuration.
 	ErrConfigHashMismatch = errors.New("campaign: checkpoint config hash mismatch (the journal was written by a differently-configured campaign)")
 	// ErrCorruptCheckpoint marks an unparseable non-trailing journal
-	// line.
+	// line or a malformed header.
 	ErrCorruptCheckpoint = errors.New("campaign: corrupt checkpoint")
+	// ErrJournalBitrot marks a v2 record that is newline-complete —
+	// its append finished — but no longer matches its own checksums:
+	// mid-file silent corruption, as opposed to a torn tail. It always
+	// wraps ErrCorruptCheckpoint.
+	ErrJournalBitrot = errors.New("journal bitrot")
 )
 
 type journalHeader struct {
@@ -45,10 +65,52 @@ type journalHeader struct {
 	ConfigHash string `json:"config_hash"`
 }
 
-// journal is the append side of an open checkpoint.
+// journalRecord is the v2 per-record envelope: the marshaled result
+// plus its CRC32C (fast fsck) and canonical SHA-256 attestation (the
+// same sum the fabric verifies on the wire, tying the journal to the
+// attestation layer).
+type journalRecord struct {
+	CRC string          `json:"crc"`
+	Sum string          `json:"sum"`
+	R   json.RawMessage `json:"r"`
+}
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crcOf(b []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(b, castagnoli))
+}
+
+// SumBytes is the canonical attestation hash of a marshaled result:
+// hex SHA-256 over the exact JSON bytes. The fabric stamps it on every
+// streamed result, the coordinator re-derives it on receipt, and v2
+// journal records store it — one definition, three verification points.
+func SumBytes(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}
+
+// SumResult marshals a raw-typed result and returns its canonical
+// attestation sum (and the marshaled bytes, so callers streaming the
+// result need not re-encode).
+func SumResult(r Result[json.RawMessage]) (sum string, encoded []byte, err error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return "", nil, err
+	}
+	return SumBytes(b), b, nil
+}
+
+// journal is the append side of an open checkpoint. version selects the
+// record encoding: v2 wraps records in checksum envelopes; a resumed v1
+// file keeps appending bare records so the file stays uniformly
+// parseable.
 type journal struct {
-	f      *os.File
-	closed bool
+	f       *os.File
+	version int
+	closed  bool
 }
 
 // appendHook, when non-nil, intercepts journal appends before they are
@@ -65,10 +127,21 @@ func (j *journal) Append(v any) error {
 			return err
 		}
 	}
-	line, err := json.Marshal(v)
+	rb, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
+	line := rb
+	if j.version >= journalV2 {
+		if line, err = json.Marshal(journalRecord{CRC: crcOf(rb), Sum: SumBytes(rb), R: rb}); err != nil {
+			return err
+		}
+	}
+	return j.appendLine(line)
+}
+
+// appendLine writes one raw line (no envelope) and fsyncs.
+func (j *journal) appendLine(line []byte) error {
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
 		return err
 	}
@@ -86,8 +159,9 @@ func (j *journal) Close() error {
 
 // openCheckpoint opens path for journaling. A fresh run creates the
 // file (failing if it already exists); a resume loads the finished
-// records — verifying the config hash — truncates any torn trailing
-// line, and reopens for appending.
+// records — verifying the config hash and, for v2 journals, every
+// record checksum — truncates any torn trailing line, and reopens for
+// appending in the file's own format version.
 func openCheckpoint[R any](path, hash string, resume bool) (*journal, map[string]Result[R], error) {
 	if resume {
 		return resumeCheckpoint[R](path, hash)
@@ -101,8 +175,13 @@ func openCheckpoint[R any](path, hash string, resume bool) (*journal, map[string
 	if err != nil {
 		return nil, nil, err
 	}
-	jl := &journal{f: f}
-	if err := jl.Append(journalHeader{V: journalVersion, ConfigHash: hash}); err != nil {
+	jl := &journal{f: f, version: journalVersion}
+	hdr, err := json.Marshal(journalHeader{V: journalVersion, ConfigHash: hash})
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := jl.appendLine(hdr); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
@@ -118,7 +197,7 @@ func resumeCheckpoint[R any](path, hash string) (*journal, map[string]Result[R],
 		}
 		return nil, nil, err
 	}
-	done, validLen, err := parseJournal[R](blob, hash)
+	sc, err := parseJournal[R](blob, hash)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -128,68 +207,179 @@ func resumeCheckpoint[R any](path, hash string) (*journal, map[string]Result[R],
 	}
 	// Drop a torn trailing record (crash mid-append) before new
 	// appends, so the journal stays line-parseable.
-	if err := f.Truncate(validLen); err != nil {
+	if err := f.Truncate(sc.validLen); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	if _, err := f.Seek(validLen, 0); err != nil {
+	if _, err := f.Seek(sc.validLen, 0); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	return &journal{f: f}, done, nil
+	return &journal{f: f, version: sc.header.V}, sc.done, nil
+}
+
+// journalScan is one parse of a journal blob.
+type journalScan[R any] struct {
+	header      journalHeader
+	done        map[string]Result[R]
+	validLen    int64
+	records     int
+	invalidated int
+	tornBytes   int64
 }
 
 // parseJournal decodes the journal: header first, then one record per
-// line. It returns the finished records and the byte length of the
-// valid prefix (everything before a torn trailing line).
-func parseJournal[R any](blob []byte, hash string) (map[string]Result[R], int64, error) {
-	done := make(map[string]Result[R])
-	var off int64
+// line. An empty hash skips the config-hash check (offline
+// verification, where the expected hash is unknown).
+//
+// Tail discipline, per version: a trailing line with no newline is a
+// torn append in both formats — everything before it is valid and the
+// job it described was never acknowledged, so dropping it is safe. A
+// newline-terminated record that fails to parse is treated leniently in
+// v1 only when it is the final line (a crash can land exactly on the
+// newline of a partial buffered write; v1 has no checksum to rule that
+// out). In v2 every completed line carries its own CRC32C + SHA-256, so
+// any newline-terminated record that fails to parse or checksum —
+// final or not — is bitrot: a hard error naming the byte offset.
+func parseJournal[R any](blob []byte, hash string) (*journalScan[R], error) {
+	sc := &journalScan[R]{done: make(map[string]Result[R])}
 	sawHeader := false
 	for len(blob) > 0 {
 		nl := bytes.IndexByte(blob, '\n')
 		if nl < 0 {
-			// Torn trailing line: the crash interrupted an append.
-			// Everything before it is valid; the job it described was
-			// never acknowledged, so dropping it is safe.
+			sc.tornBytes = int64(len(blob))
 			break
 		}
 		line := blob[:nl]
-		blob = blob[nl+1:]
+		rest := blob[nl+1:]
 		if !sawHeader {
 			var h journalHeader
 			if err := json.Unmarshal(line, &h); err != nil || h.V == 0 {
-				return nil, 0, fmt.Errorf("%w: bad header", ErrCorruptCheckpoint)
+				return nil, fmt.Errorf("%w: bad header", ErrCorruptCheckpoint)
 			}
-			if h.V != journalVersion {
-				return nil, 0, fmt.Errorf("%w: journal version %d, want %d",
-					ErrCorruptCheckpoint, h.V, journalVersion)
+			if h.V != journalV1 && h.V != journalV2 {
+				return nil, fmt.Errorf("%w: journal version %d, want %d or %d",
+					ErrCorruptCheckpoint, h.V, journalV1, journalV2)
 			}
-			if h.ConfigHash != hash {
-				return nil, 0, fmt.Errorf("%w: journal %s, campaign %s",
+			if hash != "" && h.ConfigHash != hash {
+				return nil, fmt.Errorf("%w: journal %s, campaign %s",
 					ErrConfigHashMismatch, h.ConfigHash, hash)
 			}
+			sc.header = h
 			sawHeader = true
-			off += int64(nl + 1)
+			sc.validLen += int64(nl + 1)
+			blob = rest
 			continue
 		}
 		var r Result[R]
-		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
-			if len(blob) == 0 {
-				// Complete-looking but unparseable final line: treat
-				// as torn (a crash can land exactly on the newline of
-				// a partial buffered write).
-				break
+		if sc.header.V >= journalV2 {
+			rr, err := parseRecordV2[R](line)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %w at byte %d: %w",
+					ErrCorruptCheckpoint, ErrJournalBitrot, sc.validLen, err)
 			}
-			return nil, 0, fmt.Errorf("%w: unparseable record at byte %d", ErrCorruptCheckpoint, off)
+			r = rr
+		} else {
+			if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
+				if len(rest) == 0 {
+					// Complete-looking but unparseable final v1 line:
+					// treat as torn (see the tail discipline above).
+					sc.tornBytes = int64(nl + 1)
+					break
+				}
+				return nil, fmt.Errorf("%w: unparseable record at byte %d", ErrCorruptCheckpoint, sc.validLen)
+			}
 		}
-		done[r.ID] = r
-		off += int64(nl + 1)
+		sc.records++
+		if r.Status == StatusInvalidated {
+			// A conviction tombstone: the earlier record for this job
+			// was produced by a worker later caught returning divergent
+			// results. The job re-runs; a superseding record follows.
+			delete(sc.done, r.ID)
+			sc.invalidated++
+		} else {
+			sc.done[r.ID] = r
+		}
+		sc.validLen += int64(nl + 1)
+		blob = rest
 	}
 	if !sawHeader {
-		return nil, 0, fmt.Errorf("%w: missing header", ErrCorruptCheckpoint)
+		if sc.tornBytes > 0 {
+			return nil, fmt.Errorf("%w: bad header", ErrCorruptCheckpoint)
+		}
+		return nil, fmt.Errorf("%w: missing header", ErrCorruptCheckpoint)
 	}
-	return done, off, nil
+	return sc, nil
+}
+
+// parseRecordV2 decodes and checksum-verifies one v2 record line.
+func parseRecordV2[R any](line []byte) (Result[R], error) {
+	var r Result[R]
+	var rec journalRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return r, fmt.Errorf("record envelope: %v", err)
+	}
+	if rec.CRC == "" || rec.Sum == "" || len(rec.R) == 0 {
+		return r, errors.New("record envelope missing crc/sum/r")
+	}
+	if got := crcOf(rec.R); got != rec.CRC {
+		return r, fmt.Errorf("crc32c %s, record says %s", got, rec.CRC)
+	}
+	if got := SumBytes(rec.R); got != rec.Sum {
+		return r, fmt.Errorf("sha-256 %s, record says %s", got, rec.Sum)
+	}
+	if err := json.Unmarshal(rec.R, &r); err != nil || r.ID == "" {
+		return r, errors.New("checksummed payload is not a result record")
+	}
+	return r, nil
+}
+
+// JournalInfo summarizes an offline journal verification (ftspm-verify
+// and tests).
+type JournalInfo struct {
+	// Version and ConfigHash echo the header.
+	Version    int    `json:"version"`
+	ConfigHash string `json:"config_hash"`
+	// Records counts parsed record lines (invalidation tombstones
+	// included); Done/Failed/Invalidated break them down — Done and
+	// Failed after tombstone supersession, Invalidated as raw tombstone
+	// count.
+	Records     int `json:"records"`
+	Done        int `json:"done"`
+	Failed      int `json:"failed"`
+	Invalidated int `json:"invalidated"`
+	// TornBytes is the length of a torn trailing partial record (0 for
+	// a clean tail). A torn tail is recoverable — resume truncates it —
+	// so it is reported, not an error.
+	TornBytes int64 `json:"torn_bytes"`
+}
+
+// VerifyJournal fscks a journal blob offline: header, every record's
+// structure, and — for v2 journals — every record's CRC32C and SHA-256.
+// The config hash is reported, not checked (the expected value is not
+// known offline). Corruption returns a non-nil error distinguishing
+// bitrot (ErrJournalBitrot, with byte offset) from structural damage
+// (ErrCorruptCheckpoint).
+func VerifyJournal(blob []byte) (*JournalInfo, error) {
+	sc, err := parseJournal[json.RawMessage](blob, "")
+	if err != nil {
+		return nil, err
+	}
+	info := &JournalInfo{
+		Version:     sc.header.V,
+		ConfigHash:  sc.header.ConfigHash,
+		Records:     sc.records,
+		Invalidated: sc.invalidated,
+		TornBytes:   sc.tornBytes,
+	}
+	for _, r := range sc.done {
+		if r.Status == StatusFailed {
+			info.Failed++
+		} else {
+			info.Done++
+		}
+	}
+	return info, nil
 }
 
 // Journal is the exported append side of a checkpoint, typed on raw
@@ -203,8 +393,8 @@ type Journal struct {
 
 // OpenJournal opens (or, with resume, reloads) the checkpoint at path
 // exactly as Run would: same header, same config-hash verification,
-// same torn-tail truncation. It returns the journal and the results
-// already finished in it (nil on a fresh run).
+// same torn-tail truncation and bitrot detection. It returns the
+// journal and the results already finished in it (nil on a fresh run).
 func OpenJournal(path, hash string, resume bool) (*Journal, map[string]Result[json.RawMessage], error) {
 	jl, done, err := openCheckpoint[json.RawMessage](path, hash, resume)
 	if err != nil {
@@ -217,6 +407,15 @@ func OpenJournal(path, hash string, resume bool) (*Journal, map[string]Result[js
 // non-nil error means the record is not durable: the caller must treat
 // the job as never finished and re-queue it.
 func (j *Journal) Append(r Result[json.RawMessage]) error { return j.j.Append(r) }
+
+// Invalidate journals a conviction tombstone for one job: on resume the
+// job's earlier record is discarded and the job re-runs. The tombstone
+// is fsynced before the caller may drop the in-memory result, so a
+// crash between invalidation and re-execution cannot resurrect a
+// result from a convicted worker.
+func (j *Journal) Invalidate(id string) error {
+	return j.j.Append(Result[json.RawMessage]{ID: id, Status: StatusInvalidated})
+}
 
 // Close closes the journal. Safe to call twice.
 func (j *Journal) Close() error { return j.j.Close() }

@@ -84,8 +84,8 @@ func TestConcurrentCampaignsSeparateCheckpoints(t *testing.T) {
 				}
 				continue
 			}
-			var r Result[int]
-			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			r, err := parseRecordV2[int](sc.Bytes())
+			if err != nil {
 				t.Fatalf("%s line %d: unparseable record %q: %v", path, line, sc.Text(), err)
 			}
 			if want := prefix + "/"; len(r.ID) < len(want) || r.ID[:len(want)] != want {

@@ -210,7 +210,7 @@ func (c *HammingCodec) buildTables() {
 		// check bits covering it) is the XOR contribution of data bit i.
 		// The overall parity bit is not linear per mask; Encode recomputes
 		// it from the popcount of the assembled word.
-		c.encMask[i] = c.encodeBitwise(BitsFromUint64(1 << uint(i))).Set(0, false)
+		c.encMask[i] = c.encodeBitwise(BitsFromUint64(1<<uint(i))).Set(0, false)
 	}
 	for s := range c.corr {
 		if s >= 1 && s <= c.n {

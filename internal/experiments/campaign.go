@@ -98,6 +98,10 @@ type CampaignStatus struct {
 	Failures []JobFailure `json:"failures,omitempty"`
 	// PendingIDs lists the unrun jobs.
 	PendingIDs []string `json:"pending_ids,omitempty"`
+	// Audit carries the integrity-audit summary of executors that
+	// re-execute a fraction of finished jobs (the distributed fabric
+	// with -audit-frac); nil otherwise.
+	Audit *campaign.AuditSummary `json:"audit,omitempty"`
 }
 
 // FirstFailure returns the first failure's error value (its journaled
@@ -127,6 +131,7 @@ func statusOf[R any](rep *campaign.Report[R], jobOrder []string) *CampaignStatus
 		Pending:    len(rep.PendingIDs),
 		Incomplete: rep.Incomplete(),
 		PendingIDs: rep.PendingIDs,
+		Audit:      rep.Audit,
 	}
 	for _, id := range jobOrder {
 		r, ok := rep.Results[id]

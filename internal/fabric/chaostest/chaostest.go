@@ -65,8 +65,19 @@ type FakeWorker struct {
 // New starts a fake worker backed by a real server handler. It is
 // stopped via t.Cleanup.
 func New(t testing.TB) *FakeWorker {
+	return NewWithServerConfig(t, server.Config{})
+}
+
+// NewWithServerConfig starts a fake worker whose inner server uses the
+// given config — the hook for integrity drills: a byzantine worker is
+// built with ChaosCorruptFrac > 0, a version-skewed one with a foreign
+// Fingerprint. DataDir defaults to a test temp dir.
+func NewWithServerConfig(t testing.TB, cfg server.Config) *FakeWorker {
 	t.Helper()
-	srv, err := server.New(server.Config{DataDir: t.TempDir()})
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		t.Fatalf("chaostest: server: %v", err)
 	}

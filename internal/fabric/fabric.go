@@ -76,6 +76,21 @@ type Config struct {
 	// run's checkpoint of the same campaign.
 	Checkpoint string
 	Resume     bool
+	// AuditFrac makes the coordinator deterministically re-execute that
+	// fraction of remotely-completed jobs on a different worker (or
+	// locally) and compare payloads. A divergence convicts the origin
+	// worker: its breaker latches open, its unaudited results are
+	// invalidated and re-queued elsewhere, and the divergence is
+	// itemized in the report's audit summary. 0 disables auditing.
+	AuditFrac float64
+	// AuditSeed varies which jobs the deterministic audit selection
+	// picks (same seed + same campaign = same picks).
+	AuditSeed int64
+	// Fingerprint overrides the coordinator's build fingerprint
+	// (default wire.Fingerprint()). Workers whose /healthz fingerprint
+	// differs are refused at placement time, and every streamed result
+	// line must carry it.
+	Fingerprint string
 	// Breaker tunes the per-worker circuit breaker.
 	Breaker server.BreakerConfig
 	// NoLocalFallback disables degrading to local execution when every
@@ -100,6 +115,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxPlacements <= 0 {
 		c.MaxPlacements = 3
 	}
+	if c.Fingerprint == "" {
+		c.Fingerprint = wire.Fingerprint()
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -111,8 +129,11 @@ type workerRef struct {
 	url  string
 	cl   *client.Client
 	brk  *server.Breaker
-	down sync.Mutex // guards the flag below
+	down sync.Mutex // guards the flags below
 	isDn bool
+	// sus marks a worker convicted by the audit: its loop exits, its
+	// breaker is force-opened, and nothing it streams merges again.
+	sus bool
 }
 
 func (w *workerRef) setDown(v bool) {
@@ -127,6 +148,21 @@ func (w *workerRef) isDown() bool {
 	return w.isDn
 }
 
+// setSuspect marks the worker convicted; a suspect is also permanently
+// down, so the local fallback's all-down check counts it out.
+func (w *workerRef) setSuspect() {
+	w.down.Lock()
+	w.sus = true
+	w.isDn = true
+	w.down.Unlock()
+}
+
+func (w *workerRef) isSuspect() bool {
+	w.down.Lock()
+	defer w.down.Unlock()
+	return w.sus
+}
+
 // fabricRun is one coordinator run's shared state.
 type fabricRun struct {
 	cfg     Config
@@ -136,6 +172,14 @@ type fabricRun struct {
 	m       *merger
 	workers []*workerRef
 	chunk   int
+	fp      string
+
+	// auditWG tracks in-flight audit goroutines; auditMu guards the
+	// accumulating summary and the suspect set.
+	auditWG  sync.WaitGroup
+	auditMu  sync.Mutex
+	auditSum campaign.AuditSummary
+	suspects map[string]bool
 }
 
 // Run executes the campaign described by src across cfg.Workers and
@@ -187,12 +231,14 @@ func Run(ctx context.Context, cfg Config, src *experiments.JobSource) (*campaign
 	}
 
 	f := &fabricRun{
-		cfg:   cfg,
-		src:   src,
-		tmpl:  requestFor(src, cfg),
-		q:     newQueue(todo, cfg.MaxPlacements),
-		m:     newMerger(jl, rep),
-		chunk: chunkSize(cfg, len(todo)),
+		cfg:      cfg,
+		src:      src,
+		tmpl:     requestFor(src, cfg),
+		q:        newQueue(todo, cfg.MaxPlacements),
+		m:        newMerger(jl, rep),
+		chunk:    chunkSize(cfg, len(todo)),
+		fp:       cfg.Fingerprint,
+		suspects: make(map[string]bool),
 	}
 	for _, u := range cfg.Workers {
 		cl, err := client.New(client.Config{BaseURL: u, HTTPClient: cfg.HTTPClient})
@@ -229,6 +275,14 @@ func Run(ctx context.Context, cfg Config, src *experiments.JobSource) (*campaign
 		}()
 	}
 	wg.Wait()
+	f.auditWG.Wait()
+
+	if cfg.AuditFrac > 0 {
+		f.auditMu.Lock()
+		s := f.auditSum
+		f.auditMu.Unlock()
+		rep.Audit = &s
+	}
 
 	for _, id := range src.IDs {
 		if _, ok := rep.Results[id]; !ok {
@@ -300,7 +354,7 @@ func chunkSize(cfg Config, jobs int) int {
 // without holding any jobs.
 func (f *fabricRun) workerLoop(ctx context.Context, w *workerRef) {
 	for {
-		if ctx.Err() != nil || f.q.isClosed() {
+		if ctx.Err() != nil || f.q.isClosed() || w.isSuspect() {
 			return
 		}
 		if !w.brk.Ready() {
@@ -339,6 +393,14 @@ func (f *fabricRun) probe(ctx context.Context, w *workerRef) (up, busy bool) {
 	if h.Draining {
 		return false, false
 	}
+	if h.Fingerprint != f.fp {
+		// Version skew: a worker built differently may compute "the same
+		// job" differently. Refusing it at probe time keeps every result
+		// in the report attributable to one build.
+		f.cfg.Logf("fabric: worker %s refused: fingerprint %s, coordinator wants %s (version skew)",
+			w.url, h.Fingerprint, f.fp)
+		return false, false
+	}
 	busy = h.Fabric.QueueCap > 0 && h.Fabric.Queued >= h.Fabric.QueueCap
 	return true, busy
 }
@@ -370,9 +432,28 @@ func (f *fabricRun) place(ctx context.Context, w *workerRef, chunk []string) {
 	}
 	defer st.Close()
 
+	placed := make(map[string]bool, len(chunk))
 	outstanding := make(map[string]bool, len(chunk))
 	for _, id := range chunk {
+		placed[id] = true
 		outstanding[id] = true
+	}
+	// abort kills the placement on a protocol- or transport-grade
+	// violation: the un-acked jobs re-queue without a placement penalty
+	// (the fault is the worker's, not possibly the jobs'), the breaker
+	// takes a strike, and the worker is re-probed before it gets more
+	// work.
+	abort := func(format string, args ...any) {
+		w.brk.RecordOutcome(true)
+		w.setDown(true)
+		f.cfg.Logf("fabric: worker %s: %s; aborting placement", w.url, fmt.Sprintf(format, args...))
+		missing := make([]string, 0, len(outstanding))
+		for _, id := range chunk {
+			if outstanding[id] {
+				missing = append(missing, id)
+			}
+		}
+		f.q.requeue(missing, false)
 	}
 	sawTrailer := false
 	var trailerErr string
@@ -384,12 +465,50 @@ func (f *fabricRun) place(ctx context.Context, w *workerRef, chunk []string) {
 		lease.Reset(f.cfg.Lease)
 		if line.Result != nil {
 			res := *line.Result
-			if merr := f.m.add(res); merr != nil {
+			// Placement validation: a result for a job this chunk never
+			// placed is a protocol violation — merging it would let any
+			// worker overwrite any job in the campaign.
+			if !placed[res.ID] {
+				abort("streamed result for job %q, which was never placed here", res.ID)
+				return
+			}
+			// Attestation: the sum must match the bytes as merged and
+			// the fingerprint must be this coordinator's build. Either
+			// mismatch is transport-grade — re-queue, never merge.
+			sum, _, serr := campaign.SumResult(res)
+			if serr != nil || line.Sum != sum {
+				abort("result %s failed attestation (sum %q, payload hashes %q)", res.ID, line.Sum, sum)
+				return
+			}
+			if line.Fp != f.fp {
+				abort("result %s carries fingerprint %q, coordinator wants %q", res.ID, line.Fp, f.fp)
+				return
+			}
+			merged, merr := f.m.add(res, w.url)
+			if errors.Is(merr, errSuspectOrigin) {
+				// Convicted mid-stream by a concurrent audit; nothing
+				// further from this worker merges.
+				abort("convicted while streaming")
+				return
+			}
+			if merr != nil {
 				// Not durable: leave the job un-acked so a resume
 				// re-runs it, and fail the run — the journal is gone.
 				f.q.requeue(chunk, false)
 				f.q.fail(fmt.Errorf("checkpoint: %w", merr))
 				return
+			}
+			if merged && res.Status == campaign.StatusDone && f.auditPick(res.ID) {
+				// Registered before the ack so the queue cannot close
+				// with this audit unaccounted.
+				f.q.beginAudit()
+				f.auditWG.Add(1)
+				vsum := campaign.SumBytes(res.Value)
+				go func() {
+					defer f.auditWG.Done()
+					defer f.q.endAudit()
+					f.audit(ctx, res.ID, vsum, w)
+				}()
 			}
 			delete(outstanding, res.ID)
 			f.q.ack(res.ID)
@@ -473,7 +592,9 @@ func (f *fabricRun) runLocal(ctx context.Context, chunk []string) {
 		JobTimeout: f.cfg.JobTimeout,
 		Attempts:   f.cfg.Retries + 1,
 		OnJobResult: func(res campaign.Result[json.RawMessage]) {
-			if merr := f.m.add(res); merr != nil {
+			// Local execution is the trust anchor ("" origin): it is
+			// never audited and never convicted.
+			if _, merr := f.m.add(res, ""); merr != nil {
 				f.q.fail(fmt.Errorf("checkpoint: %w", merr))
 				return
 			}

@@ -37,7 +37,7 @@ func TestMergerConcurrentStreamsByteIdentical(t *testing.T) {
 	// Golden: one writer, sorted (ID) order.
 	golden := newMerger(nil, &campaign.Report[json.RawMessage]{})
 	for _, r := range results {
-		if err := golden.add(r); err != nil {
+		if _, err := golden.add(r, "w1"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -62,7 +62,7 @@ func TestMergerConcurrentStreamsByteIdentical(t *testing.T) {
 			}
 			rng.Shuffle(len(mine), func(i, j int) { mine[i], mine[j] = mine[j], mine[i] })
 			for _, r := range mine {
-				if err := m.add(r); err != nil {
+				if _, err := m.add(r, fmt.Sprintf("w%d", g)); err != nil {
 					t.Error(err)
 				}
 			}

@@ -30,6 +30,11 @@ type queue struct {
 	closed        bool
 	err           error
 	quarantined   []string
+	// audits counts in-flight audit re-executions. The queue refuses to
+	// close on remaining==0 while audits are outstanding: an audit can
+	// still convict a worker and reopen its jobs, so "every job acked"
+	// is not yet "the campaign is done".
+	audits int
 }
 
 func newQueue(ids []string, maxPlacements int) *queue {
@@ -101,10 +106,54 @@ func (q *queue) ack(id string) {
 	}
 	s.done = true
 	q.remaining--
-	if q.remaining == 0 {
+	if q.remaining == 0 && q.audits == 0 {
 		q.closed = true
 		q.cond.Broadcast()
 	}
+}
+
+// beginAudit registers one in-flight audit re-execution. It must be
+// called BEFORE the audited job is acked, so the queue cannot observe
+// remaining==0 with the audit unaccounted and close under it.
+func (q *queue) beginAudit() {
+	q.mu.Lock()
+	q.audits++
+	q.mu.Unlock()
+}
+
+// endAudit settles one audit; the last settled audit with no work left
+// closes the queue.
+func (q *queue) endAudit() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.audits--
+	if q.remaining == 0 && q.audits == 0 {
+		q.closed = true
+		q.cond.Broadcast()
+	}
+}
+
+// reopen puts convicted-and-invalidated jobs back on the queue: their
+// merged results were revoked, so they are no longer done. Only called
+// from an audit still holding its beginAudit slot, which is what
+// guarantees the queue has not closed; a queue closed by cancellation
+// or a fatal error stays closed.
+func (q *queue) reopen(ids []string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	for _, id := range ids {
+		s, ok := q.st[id]
+		if !ok || !s.done {
+			continue
+		}
+		s.done = false
+		q.remaining++
+		q.pending = append(q.pending, id)
+	}
+	q.cond.Broadcast()
 }
 
 // requeue gives a dead placement's un-acked jobs back. penalize marks
@@ -131,7 +180,7 @@ func (q *queue) requeue(ids []string, penalize bool) {
 		}
 		q.pending = append(q.pending, id)
 	}
-	if q.remaining == 0 {
+	if q.remaining == 0 && q.audits == 0 {
 		q.closed = true
 	}
 	q.cond.Broadcast()

@@ -1,0 +1,30 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+
+	"ftspm/internal/experiments"
+)
+
+// PrintAuditSummary renders a campaign's integrity-audit outcome for
+// human output, in the style of the soak engine's SDC counts: one
+// headline, then one line per itemized divergence. It prints nothing
+// when auditing was off (st.Audit nil) so non-fabric runs are
+// unaffected. It belongs on the text stream, never in -json artifacts —
+// those must stay byte-identical to a single-node run.
+func PrintAuditSummary(w io.Writer, st *experiments.CampaignStatus) {
+	a := st.Audit
+	if a == nil {
+		return
+	}
+	fmt.Fprintf(w, "audit: %d re-executed, %d passed, %d divergence(s), %d unaudited result(s) invalidated and re-run\n",
+		a.Audited, a.Passed, len(a.Divergences), a.Invalidated)
+	for _, d := range a.Divergences {
+		fmt.Fprintf(w, "audit: DIVERGENCE job %s on %s: worker returned %s, re-execution says %s\n",
+			d.JobID, d.Worker, d.GotSum, d.WantSum)
+	}
+	for _, s := range a.SuspectWorkers {
+		fmt.Fprintf(w, "audit: worker %s CONVICTED and quarantined\n", s)
+	}
+}

@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// ProtocolVersion versions the fabric wire protocol itself. It is part
+// of the build fingerprint, so a protocol change alone is enough to
+// fence off old workers.
+const ProtocolVersion = 2
+
+var (
+	fpOnce sync.Once
+	fpVal  string
+)
+
+// Fingerprint identifies this build of the fabric: a short hash over
+// the protocol version, the Go toolchain, the main module path@version,
+// and the VCS revision when the binary was built from one. Workers
+// serve it on /healthz and stamp it on every streamed result line; the
+// coordinator compares against its own and refuses mismatched workers
+// at placement time. Two binaries built from the same commit with the
+// same toolchain fingerprint identically, whatever their cmd — ftspmd
+// and ftspm-soak from one build agree.
+func Fingerprint() string {
+	fpOnce.Do(func() {
+		h := sha256.New()
+		fmt.Fprintf(h, "proto=%d\n", ProtocolVersion)
+		fmt.Fprintf(h, "go=%s\n", runtime.Version())
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			fmt.Fprintf(h, "mod=%s@%s\n", bi.Main.Path, bi.Main.Version)
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision", "vcs.modified":
+					fmt.Fprintf(h, "%s=%s\n", s.Key, s.Value)
+				}
+			}
+		}
+		fpVal = fmt.Sprintf("fp-%x", h.Sum(nil)[:8])
+	})
+	return fpVal
+}

@@ -62,6 +62,18 @@ type JobResult = campaign.Result[json.RawMessage]
 type Line struct {
 	Result *JobResult `json:"result,omitempty"`
 	Done   *Trailer   `json:"done,omitempty"`
+	// Sum attests a Result line: the canonical SHA-256 of the marshaled
+	// result (campaign.SumBytes over the exact bytes the worker
+	// journals). The coordinator re-derives the sum on receipt; a
+	// mismatch means the payload changed between the worker's compute
+	// and the coordinator's merge — a transport-grade failure, never a
+	// merge.
+	Sum string `json:"sum,omitempty"`
+	// Fp is the worker's build fingerprint (see Fingerprint). The
+	// coordinator refuses lines from a worker whose fingerprint differs
+	// from its own: version skew means "the same job ID" may not mean
+	// the same computation.
+	Fp string `json:"fp,omitempty"`
 }
 
 // Trailer closes a chunk stream.

@@ -167,6 +167,10 @@ type HealthStatus struct {
 	// InFlightJobs counts executing work units: running async jobs plus
 	// fabric chunks.
 	InFlightJobs int64 `json:"in_flight_jobs"`
+	// Fingerprint is this build's fabric fingerprint
+	// (wire.Fingerprint). The coordinator refuses workers whose
+	// fingerprint differs from its own.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Evaluate, Campaign, and Fabric report per-class admission
 	// backlog.
 	Evaluate ClassStatus `json:"evaluate"`

@@ -130,6 +130,18 @@ func (b *Breaker) tripLocked() {
 	b.sheds = b.sheds[:0]
 }
 
+// ForceOpen latches the breaker open with no cooldown recovery — the
+// state for a worker convicted of returning divergent results, where
+// "try again in five seconds" is exactly wrong. Only a process restart
+// (and with it a fresh Breaker) closes it again.
+func (b *Breaker) ForceOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tripLocked()
+	// Far past any plausible process lifetime; time.Time has no +Inf.
+	b.openUntil = b.now().Add(100 * 365 * 24 * time.Hour)
+}
+
 // Ready reports whether the breaker is closed.
 func (b *Breaker) Ready() bool {
 	b.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"time"
 
@@ -99,7 +100,19 @@ func (s *Server) handleFabric(w http.ResponseWriter, r *http.Request) {
 		JobTimeout: time.Duration(req.JobTimeoutMS) * time.Millisecond,
 		Attempts:   req.Retries + 1,
 		OnJobResult: func(res campaign.Result[json.RawMessage]) {
-			emit(wire.Line{Result: &res})
+			if s.cfg.ChaosCorruptFrac > 0 && res.Status == campaign.StatusDone &&
+				chaosPick(res.ID, s.cfg.ChaosCorruptFrac) {
+				res.Value = corruptPayload(res.Value)
+			}
+			// The attestation sum is computed over the exact bytes
+			// emitted — after any chaos corruption, so the drill models a
+			// compute-level SDC (wrong value, honest checksums) that only
+			// audit re-execution can catch, not a wire flip.
+			sum, _, err := campaign.SumResult(res)
+			if err != nil {
+				sum = "" // unattested; the coordinator refuses and re-places
+			}
+			emit(wire.Line{Result: &res, Sum: sum, Fp: s.cfg.Fingerprint})
 		},
 	}
 	rep, runErr := campaign.Run(ctx, cfg, jobs)
@@ -120,6 +133,29 @@ func (s *Server) handleFabric(w http.ResponseWriter, r *http.Request) {
 		s.brk.RecordOutcome(false)
 	}
 	emit(wire.Line{Done: &trailer})
+}
+
+// chaosPick deterministically selects jobs for chaos corruption: the
+// same job ID is corrupted (or not) on every execution, so a drill's
+// divergences are reproducible.
+func chaosPick(id string, frac float64) bool {
+	h := fnv.New32a()
+	h.Write([]byte("chaos|" + id))
+	return float64(h.Sum32())/float64(^uint32(0)) < frac
+}
+
+// corruptPayload flips the low bit of the first decimal digit in a JSON
+// payload — a minimal, JSON-valid bit flip, the byzantine-worker shape
+// the integrity drill injects.
+func corruptPayload(v json.RawMessage) json.RawMessage {
+	out := append(json.RawMessage(nil), v...)
+	for i, b := range out {
+		if b >= '0' && b <= '9' {
+			out[i] ^= 0x01
+			return out
+		}
+	}
+	return out
 }
 
 // decodeBodyN strictly decodes a JSON request body with a caller-chosen

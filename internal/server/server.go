@@ -18,6 +18,7 @@ import (
 	"ftspm/internal/campaign"
 	"ftspm/internal/core"
 	"ftspm/internal/experiments"
+	"ftspm/internal/fabric/wire"
 	"ftspm/internal/spm"
 )
 
@@ -54,6 +55,19 @@ type Config struct {
 	DefaultScale float64
 	// Breaker configures the readiness circuit breaker.
 	Breaker BreakerConfig
+	// Fingerprint overrides the build fingerprint served on /healthz
+	// and stamped on fabric result lines (default wire.Fingerprint()).
+	// An override is an operator's escape hatch — and the test seam for
+	// version-skew scenarios.
+	Fingerprint string
+	// ChaosCorruptFrac, when > 0, makes the fabric endpoint corrupt
+	// that fraction of streamed result payloads — recomputing the
+	// attestation sum over the corrupted bytes, so the corruption is
+	// NOT detectable by hash check, only by audit re-execution. It
+	// exists for integrity drills (scripts/integrity_smoke.sh): a
+	// deliberate byzantine worker to verify the coordinator's audit
+	// machinery quarantines it. Never set it in production.
+	ChaosCorruptFrac float64
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 250 * time.Millisecond
+	}
+	if c.Fingerprint == "" {
+		c.Fingerprint = wire.Fingerprint()
 	}
 	return c
 }
@@ -518,6 +535,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Draining:     s.draining.Load(),
 		Breaker:      s.brk.State(),
 		InFlightJobs: s.inFlight.Load(),
+		Fingerprint:  s.cfg.Fingerprint,
 		Evaluate:     s.evalLim.status(),
 		Campaign:     s.campLim.status(),
 		Fabric:       s.fabLim.status(),

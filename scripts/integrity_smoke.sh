@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# integrity_smoke.sh — process-level smoke test of end-to-end result
+# integrity.
+#
+# Builds the real binaries, runs a single-node golden soak, then shards
+# the same campaign across 3 real ftspmd workers — one of them started
+# with -chaos-corrupt 1, a byzantine worker that silently corrupts every
+# payload it computes and honestly checksums the corrupted bytes — with
+# full audit re-execution (-audit-frac 1). Asserts the corrupter is
+# convicted and quarantined, the merged report is byte-for-byte
+# identical to the golden, the checkpoint journal fscks clean with
+# ftspm-verify, and a single flipped journal byte makes ftspm-verify
+# exit nonzero.
+set -u
+
+DIR=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/ftspmd" ./cmd/ftspmd || exit 1
+go build -o "$DIR/ftspm-soak" ./cmd/ftspm-soak || exit 1
+go build -o "$DIR/ftspm-verify" ./cmd/ftspm-verify || exit 1
+
+ARGS=(-structures ftspm,sram -trials 24 -scale 0.05 -strike 0.01 -seed 23)
+
+echo "== single-node golden"
+"$DIR/ftspm-soak" "${ARGS[@]}" -json "$DIR/golden.json" >"$DIR/golden.out" 2>&1 || {
+  echo "golden run failed"; cat "$DIR/golden.out"; exit 1; }
+
+echo "== start 3 ftspmd workers, one byzantine (-chaos-corrupt 1)"
+PORTS=(8181 8182 8183)
+BYZ_PORT=8183
+for p in "${PORTS[@]}"; do
+  CHAOS=()
+  [ "$p" = "$BYZ_PORT" ] && CHAOS=(-chaos-corrupt 1)
+  "$DIR/ftspmd" -listen "127.0.0.1:$p" -data "$DIR/data$p" "${CHAOS[@]}" \
+    >"$DIR/daemon$p.log" 2>&1 &
+done
+for p in "${PORTS[@]}"; do
+  ok=
+  for _ in $(seq 1 100); do
+    curl -sf "http://127.0.0.1:$p/readyz" >/dev/null 2>&1 && { ok=1; break; }
+    sleep 0.1
+  done
+  [ -n "$ok" ] || { echo "worker on :$p never became ready"; cat "$DIR/daemon$p.log"; exit 1; }
+done
+
+echo "== distributed run with full audit"
+"$DIR/ftspm-soak" "${ARGS[@]}" \
+  -workers 127.0.0.1:8181,127.0.0.1:8182,127.0.0.1:$BYZ_PORT \
+  -lease 10s -audit-frac 1 -checkpoint "$DIR/dist.ckpt" -json "$DIR/dist.json" \
+  >"$DIR/dist.out" 2>"$DIR/dist.err"
+STATUS=$?
+[ "$STATUS" = 0 ] || {
+  echo "distributed run exited $STATUS, want 0 (audit must absorb the corrupter)"
+  cat "$DIR/dist.out" "$DIR/dist.err"; exit 1; }
+
+echo "== corrupter convicted and quarantined"
+grep -q "127.0.0.1:$BYZ_PORT CONVICTED" "$DIR/dist.err" || {
+  echo "byzantine worker never convicted:"; cat "$DIR/dist.err"; exit 1; }
+grep -q "DIVERGENCE" "$DIR/dist.out" || {
+  echo "no divergence itemized in the report:"; cat "$DIR/dist.out"; exit 1; }
+
+echo "== byte-compare distributed vs single-node report"
+cmp "$DIR/golden.json" "$DIR/dist.json" || {
+  echo "report with byzantine worker differs from single-node golden"
+  head -50 "$DIR/golden.json" "$DIR/dist.json"; exit 1; }
+
+echo "== journal fscks clean"
+"$DIR/ftspm-verify" "$DIR/dist.ckpt" >"$DIR/verify.out" || {
+  echo "ftspm-verify rejected a clean journal:"; cat "$DIR/verify.out"; exit 1; }
+grep -q "journal v2" "$DIR/verify.out" || {
+  echo "journal is not v2:"; cat "$DIR/verify.out"; exit 1; }
+
+echo "== flipped journal byte detected"
+# Flip one bit in the middle of the journal body (past the header line).
+python3 - "$DIR/dist.ckpt" <<'EOF'
+import sys
+p = sys.argv[1]
+b = bytearray(open(p, "rb").read())
+i = len(b) // 2
+while b[i] in (0x0a, 0x0d):
+    i += 1
+b[i] ^= 0x04
+open(p, "wb").write(bytes(b))
+EOF
+if "$DIR/ftspm-verify" "$DIR/dist.ckpt" >"$DIR/verify2.out" 2>&1; then
+  echo "ftspm-verify missed a flipped byte:"; cat "$DIR/verify2.out"; exit 1
+fi
+grep -qi "bitrot" "$DIR/verify2.out" || {
+  echo "corruption not diagnosed as bitrot:"; cat "$DIR/verify2.out"; exit 1; }
+
+echo "integrity smoke OK (byzantine worker quarantined, byte-identical report, journal fsck catches bitrot)"
