@@ -9,10 +9,12 @@
 package ftspm_test
 
 import (
+	"context"
 	"testing"
 
 	"ftspm"
 	"ftspm/internal/experiments"
+	"ftspm/internal/resultcache"
 	"ftspm/internal/spm"
 )
 
@@ -228,6 +230,37 @@ func BenchmarkRunSweep(b *testing.B) {
 		if len(sw.Outcomes) != 12 {
 			b.Fatalf("sweep rows = %d, want 12", len(sw.Outcomes))
 		}
+	}
+}
+
+// BenchmarkRunSweepWarmCache times the same sweep served from a warm
+// content-addressed result cache (internal/resultcache): the cache is
+// filled once outside the timer, then every iteration answers all 36
+// jobs from memoized bytes. The ratio against BenchmarkRunSweep is the
+// memoization speedup the daemon and fabric coordinator inherit.
+func BenchmarkRunSweepWarmCache(b *testing.B) {
+	b.ReportAllocs()
+	c, err := resultcache.Open(resultcache.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc := experiments.CampaignConfig{Cache: c}
+	if _, _, err := experiments.RunSweepCampaign(context.Background(), benchOpts, cc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, st, err := experiments.RunSweepCampaign(context.Background(), benchOpts, cc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sw.Outcomes) != 12 || st.Failed != 0 {
+			b.Fatalf("degenerate warm sweep: %d rows, %d failed", len(sw.Outcomes), st.Failed)
+		}
+	}
+	b.StopTimer()
+	if s := c.Stats(); s.Hits == 0 || s.Misses > 36 {
+		b.Fatalf("warm iterations were not cache-served: %+v", s)
 	}
 }
 

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	ftspm-bench [-scale 0.25] [-out results] [-json file]
-//	            [-checkpoint sweep.ckpt] [-resume]
+//	            [-checkpoint sweep.ckpt] [-resume] [-cache file]
 //	            [-parallel N] [-retries N] [-job-timeout d]
 //	            [-workers host1:8077,host2:8077] [-lease 60s]
 //	            [-audit-frac 0.1] [-audit-seed 0]
@@ -22,6 +22,13 @@
 // and its -checkpoint journal are byte-identical to a single-node run.
 // The single-machine experiments (tables, case study, ablations) always
 // run locally.
+//
+// -cache memoizes sweep jobs in a content-addressed result cache file
+// (DESIGN.md §16): a warm re-run of the same sweep answers jobs from
+// the cache instead of recomputing, byte-identical to a cold run. The
+// file is versioned by the build fingerprint, and with -workers it
+// becomes the coordinator's pre-merge cache (hits never leave the
+// machine; only locally-computed results ever enter the file).
 //
 // Exit status: 0 success, 1 error, 2 bad flags, 3 interrupted (partial
 // results salvaged; resumable).
@@ -43,7 +50,9 @@ import (
 	"ftspm/internal/campaign"
 	"ftspm/internal/experiments"
 	"ftspm/internal/fabric"
+	"ftspm/internal/fabric/wire"
 	"ftspm/internal/report"
+	"ftspm/internal/resultcache"
 )
 
 func main() {
@@ -66,6 +75,9 @@ type sweepMeasurement struct {
 	WallMS     float64 `json:"wall_ms"`
 	AllocBytes uint64  `json:"alloc_bytes"`
 	Allocs     uint64  `json:"allocs"`
+	// Cache carries the result-cache counters when -cache was in play,
+	// so warm and cold runs are distinguishable in the perf history.
+	Cache *resultcache.Stats `json:"cache,omitempty"`
 }
 
 // appendSweepMeasurement appends one JSON line describing the sweep
@@ -73,7 +85,7 @@ type sweepMeasurement struct {
 // quiet process for clean numbers). The record is fsynced before close:
 // append-only history cannot be renamed into place atomically, but it
 // must survive a crash right after the run it measures.
-func appendSweepMeasurement(path string, scale float64, wall time.Duration, before runtime.MemStats) error {
+func appendSweepMeasurement(path string, scale float64, wall time.Duration, before runtime.MemStats, rc *resultcache.Cache) error {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 	m := sweepMeasurement{
@@ -83,6 +95,10 @@ func appendSweepMeasurement(path string, scale float64, wall time.Duration, befo
 		WallMS:     float64(wall.Microseconds()) / 1e3,
 		AllocBytes: after.TotalAlloc - before.TotalAlloc,
 		Allocs:     after.Mallocs - before.Mallocs,
+	}
+	if rc != nil {
+		cs := rc.Stats()
+		m.Cache = &cs
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -109,6 +125,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	perfJSON := fs.String("perfjson", "", "append a sweep wall-clock/allocation measurement to this JSON-lines file")
 	checkpoint := fs.String("checkpoint", "", "journal finished sweep jobs to this file (crash-safe campaign)")
 	resume := fs.Bool("resume", false, "skip sweep jobs already journaled in -checkpoint")
+	cachePath := fs.String("cache", "", "memoize sweep jobs in this content-addressed cache file (warm runs skip recomputing)")
 	parallel := fs.Int("parallel", 0, "sweep worker pool size, local or per fabric chunk (0: GOMAXPROCS)")
 	workers := fs.String("workers", "", "comma-separated ftspmd worker URLs: distribute the sweep over the fabric")
 	lease := fs.Duration("lease", 0, "fabric heartbeat lease before a silent worker is declared dead (0: 60s)")
@@ -137,6 +154,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if err := cc.Validate(); err != nil {
 		return err
+	}
+	var rc *resultcache.Cache
+	if *cachePath != "" {
+		var err error
+		rc, err = resultcache.Open(resultcache.Config{Path: *cachePath, Fingerprint: wire.Fingerprint()})
+		if err != nil {
+			return fmt.Errorf("cache: %w", err)
+		}
+		defer rc.Close()
+		cc.Cache = rc
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -262,6 +289,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Resume:     *resume,
 			AuditFrac:  *auditFrac,
 			AuditSeed:  *auditSeed,
+			Cache:      rc,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "ftspm-bench: "+format+"\n", args...)
 			},
@@ -280,10 +308,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return salvageSweep(out, sw, status, *jsonPath, runErr)
 	}
 	if *perfJSON != "" {
-		if err := appendSweepMeasurement(*perfJSON, *scale, time.Since(sweepStart), before); err != nil {
+		if err := appendSweepMeasurement(*perfJSON, *scale, time.Since(sweepStart), before, rc); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "appended sweep measurement to %s\n", *perfJSON)
+	}
+	if rc != nil {
+		cs := rc.Stats()
+		fmt.Fprintf(out, "result cache: %d hits, %d misses, %d bypasses (%d entries)\n",
+			cs.Hits, cs.Misses, cs.Bypasses, cs.Entries)
 	}
 	f4, err := experiments.Fig4(sw)
 	if err != nil {

@@ -5,15 +5,21 @@
 // Usage:
 //
 //	ftspm-map [-workload casestudy] [-structure ftspm] [-priority reliability]
+//	          [-scale 0.25] [-csv]
+//	          [-cpuprofile f] [-memprofile f] [-perfjson f]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"ftspm/internal/campaign"
 	"ftspm/internal/core"
@@ -30,6 +36,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ftspm-map:", err)
 		os.Exit(campaign.ExitCode(err))
 	}
+}
+
+// mapMeasurement is one -perfjson record: the wall-clock and allocation
+// cost of the profile + MDA hot path, mirroring the measurement shape
+// ftspm-bench and ftspm-soak append so one tool can chart all three.
+type mapMeasurement struct {
+	Benchmark  string  `json:"benchmark"`
+	Workload   string  `json:"workload"`
+	Structure  string  `json:"structure"`
+	Scale      float64 `json:"scale"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	WallMS     float64 `json:"wall_ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Allocs     uint64  `json:"allocs"`
+}
+
+// appendMapMeasurement appends one JSON line describing the mapping
+// that just ran (allocation deltas are process-wide, so run with a
+// quiet process for clean numbers). The record is fsynced before close.
+func appendMapMeasurement(path string, m mapMeasurement, wall time.Duration, before runtime.MemStats) error {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	m.Benchmark = "MapBlocks"
+	m.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	m.WallMS = float64(wall.Microseconds()) / 1e3
+	m.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	m.Allocs = after.Mallocs - before.Mallocs
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(m); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func parseStructure(s string) (core.Structure, error) {
@@ -68,6 +113,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"MDA optimization priority: reliability, performance, power, or endurance")
 	scale := fs.Float64("scale", 0.25, "trace length relative to the reference")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	perfJSON := fs.String("perfjson", "", "append a profile+mapping wall-clock/allocation measurement to this JSON-lines file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +138,35 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftspm-map: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ftspm-map: memprofile:", err)
+			}
+		}()
+	}
+
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
 	prof, err := profile.Run(w.Program(), w.TraceStream(*scale))
 	if err != nil {
 		return err
@@ -101,6 +178,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	m, err := core.MapBlocks(prof, spec, core.DefaultThresholds(), prio)
 	if err != nil {
 		return err
+	}
+	if *perfJSON != "" {
+		meas := mapMeasurement{Workload: w.Name, Structure: s.String(), Scale: *scale}
+		if err := appendMapMeasurement(*perfJSON, meas, time.Since(start), before); err != nil {
+			return err
+		}
 	}
 
 	t := report.New(

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -73,5 +76,52 @@ func TestRunMapCSVAndErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-workload", "bogus"}, &buf); err == nil {
 		t.Error("bad workload accepted")
+	}
+}
+
+// TestRunMapPerfArtifacts drives the new profiling flags: -perfjson
+// appends a MapBlocks measurement line and the pprof flags produce
+// non-empty profile files.
+func TestRunMapPerfArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	perf := filepath.Join(dir, "perf.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-workload", "casestudy", "-scale", "0.05",
+		"-perfjson", perf, "-cpuprofile", cpu, "-memprofile", mem,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two invocations append two JSON lines.
+	if err := run(context.Background(), []string{
+		"-workload", "casestudy", "-scale", "0.05", "-perfjson", perf,
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("perfjson lines = %d, want 2:\n%s", len(lines), data)
+	}
+	for _, line := range lines {
+		var m mapMeasurement
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad perfjson line %q: %v", line, err)
+		}
+		if m.Benchmark != "MapBlocks" || m.Workload != "casestudy" || m.WallMS <= 0 {
+			t.Errorf("unexpected measurement: %+v", m)
+		}
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty: %v", p, err)
+		}
 	}
 }

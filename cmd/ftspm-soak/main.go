@@ -18,7 +18,7 @@
 //	           [-trials 8] [-scale 0.05] [-strike 0.01] [-target data]
 //	           [-scrub 4096] [-policy rollback] [-no-recovery]
 //	           [-wear-fail 0] [-wear-stuck 0] [-seed 1] [-json file]
-//	           [-lanes 0] [-checkpoint soak.ckpt] [-resume]
+//	           [-lanes 0] [-checkpoint soak.ckpt] [-resume] [-cache file]
 //	           [-parallel N] [-retries N] [-job-timeout d]
 //	           [-workers host1:8077,host2:8077] [-lease 60s]
 //	           [-audit-frac 0.1] [-audit-seed 0]
@@ -34,6 +34,13 @@
 // a different executor: a divergence convicts the origin worker,
 // quarantines it, and re-runs every result of its that the audit had
 // not already confirmed (see DESIGN.md §15).
+//
+// -cache memoizes finished trials in a content-addressed result cache
+// file (DESIGN.md §16). Trial keys carry the full fault/wear/recovery
+// model, so a cache warmed under one strike rate or recovery policy is
+// strictly bypassed — never wrongly served — under another; keys omit
+// the campaign size, so a 2-trial warmup serves the first 2 trials of
+// a later 8-trial campaign.
 //
 // -lanes controls the bit-parallel packed engine (internal/simd): 0
 // (the default) packs up to 64 trials per trace pass, 1 forces the
@@ -60,7 +67,9 @@ import (
 	"ftspm/internal/core"
 	"ftspm/internal/experiments"
 	"ftspm/internal/fabric"
+	"ftspm/internal/fabric/wire"
 	"ftspm/internal/report"
+	"ftspm/internal/resultcache"
 	"ftspm/internal/sim"
 	"ftspm/internal/spm"
 	"ftspm/internal/workloads"
@@ -89,12 +98,15 @@ type soakMeasurement struct {
 	WallMS     float64 `json:"wall_ms"`
 	AllocBytes uint64  `json:"alloc_bytes"`
 	Allocs     uint64  `json:"allocs"`
+	// Cache carries the result-cache counters when -cache was in play,
+	// so warm and cold runs are distinguishable in the perf history.
+	Cache *resultcache.Stats `json:"cache,omitempty"`
 }
 
 // appendSoakMeasurement appends one JSON line describing the campaign
 // that just ran (allocation deltas are process-wide, so run with a
 // quiet process for clean numbers). The record is fsynced before close.
-func appendSoakMeasurement(path string, opts experiments.SoakOptions, wall time.Duration, before runtime.MemStats) error {
+func appendSoakMeasurement(path string, opts experiments.SoakOptions, wall time.Duration, before runtime.MemStats, rc *resultcache.Cache) error {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 	m := soakMeasurement{
@@ -106,6 +118,10 @@ func appendSoakMeasurement(path string, opts experiments.SoakOptions, wall time.
 		WallMS:     float64(wall.Microseconds()) / 1e3,
 		AllocBytes: after.TotalAlloc - before.TotalAlloc,
 		Allocs:     after.Mallocs - before.Mallocs,
+	}
+	if rc != nil {
+		cs := rc.Stats()
+		m.Cache = &cs
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -184,6 +200,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	jsonPath := fs.String("json", "", "also write the reports as JSON to this file")
 	checkpoint := fs.String("checkpoint", "", "journal finished trials to this file (crash-safe campaign)")
 	resume := fs.Bool("resume", false, "skip trials already journaled in -checkpoint")
+	cachePath := fs.String("cache", "", "memoize finished trials in this content-addressed cache file (warm runs skip recomputing)")
 	parallel := fs.Int("parallel", 0, "trial worker pool size, local or per fabric chunk (0: GOMAXPROCS)")
 	workers := fs.String("workers", "", "comma-separated ftspmd worker URLs: distribute the campaign over the fabric")
 	lease := fs.Duration("lease", 0, "fabric heartbeat lease before a silent worker is declared dead (0: 60s)")
@@ -221,6 +238,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if err := cc.Validate(); err != nil {
 		return err
+	}
+	var rc *resultcache.Cache
+	if *cachePath != "" {
+		var err error
+		rc, err = resultcache.Open(resultcache.Config{Path: *cachePath, Fingerprint: wire.Fingerprint()})
+		if err != nil {
+			return fmt.Errorf("cache: %w", err)
+		}
+		defer rc.Close()
+		cc.Cache = rc
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -307,6 +334,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Resume:     *resume,
 			AuditFrac:  *auditFrac,
 			AuditSeed:  *auditSeed,
+			Cache:      rc,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "ftspm-soak: "+format+"\n", args...)
 			},
@@ -319,9 +347,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return runErr // campaign setup failure (checkpoint, flags)
 	}
 	if *perfJSON != "" && runErr == nil {
-		if err := appendSoakMeasurement(*perfJSON, opts, wall, before); err != nil {
+		if err := appendSoakMeasurement(*perfJSON, opts, wall, before, rc); err != nil {
 			return err
 		}
+	}
+	if rc != nil {
+		cs := rc.Stats()
+		fmt.Fprintf(out, "result cache: %d hits, %d misses, %d bypasses (%d entries)\n",
+			cs.Hits, cs.Misses, cs.Bypasses, cs.Entries)
 	}
 	if status.Resumed > 0 {
 		fmt.Fprintf(out, "resumed %d finished trials from %s\n", status.Resumed, *checkpoint)

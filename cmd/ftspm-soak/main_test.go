@@ -126,3 +126,48 @@ func TestRunSoakCheckpointResume(t *testing.T) {
 		t.Fatalf("resumed JSON differs:\n%s\nvs\n%s", a, b)
 	}
 }
+
+// TestRunSoakWarmCache drives -cache end to end: a cold run fills the
+// cache file, a warm run of the same campaign answers every trial from
+// it, and the JSON reports are byte-identical.
+func TestRunSoakWarmCache(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "soak.cache")
+	args := func(jsonPath string) []string {
+		return []string{
+			"-structures", "ftspm",
+			"-trials", "2",
+			"-scale", "0.02",
+			"-strike", "0.01",
+			"-cache", cache,
+			"-json", jsonPath,
+		}
+	}
+	cold := filepath.Join(dir, "cold.json")
+	var coldBuf bytes.Buffer
+	if err := run(context.Background(), args(cold), &coldBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(coldBuf.String(), "0 hits, 2 misses") {
+		t.Errorf("cold run cache line missing:\n%s", coldBuf.String())
+	}
+	warm := filepath.Join(dir, "warm.json")
+	var warmBuf bytes.Buffer
+	if err := run(context.Background(), args(warm), &warmBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warmBuf.String(), "2 hits, 0 misses") {
+		t.Errorf("warm run not served from cache:\n%s", warmBuf.String())
+	}
+	cb, err := os.ReadFile(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := os.ReadFile(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb, wb) {
+		t.Fatalf("warm reports diverge from cold:\n got %s\nwant %s", wb, cb)
+	}
+}

@@ -7,6 +7,9 @@
 // Endpoints:
 //
 //	POST   /v1/evaluate   one workload × structure, within a deadline
+//	POST   /v1/map        batch mapping-as-a-service: every requested
+//	                      (workload, structure) placement, composed
+//	                      from the content-addressed result cache
 //	POST   /v1/sweep      async full design-space sweep job
 //	POST   /v1/soak       async Monte-Carlo recovery soak job
 //	POST   /v1/fabric     execute one distributed-campaign chunk,
@@ -33,6 +36,13 @@
 //	       [-max-campaigns N] [-campaign-queue N]
 //	       [-default-timeout 30s] [-max-timeout 2m]
 //	       [-drain-timeout 1m] [-scale 1.0] [-chaos-corrupt 0]
+//	       [-cache file] [-no-cache] [-cache-entries N] [-cache-bytes N]
+//
+// Every deterministic evaluation is memoized in a content-addressed
+// result cache (DESIGN.md §16): repeated evaluate/sweep/fabric work is
+// answered from memory, and -cache adds a disk tier that survives
+// restarts (versioned by the build fingerprint, so a rebuilt daemon
+// never serves a stale epoch). -no-cache disables memoization entirely.
 //
 // Exit status: 0 success (including a clean drain), 1 error, 2 bad
 // flags.
@@ -81,11 +91,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "grace period for in-flight work on shutdown")
 	scale := fs.Float64("scale", 0, "default trace scale for evaluate/sweep (0 = engine default)")
 	chaosCorrupt := fs.Float64("chaos-corrupt", 0, "TESTING ONLY: silently corrupt this fraction of fabric result payloads (byzantine-worker drill)")
+	cachePath := fs.String("cache", "", "persist the result cache to this file (disk tier; survives restarts)")
+	noCache := fs.Bool("no-cache", false, "disable the content-addressed result cache entirely")
+	cacheEntries := fs.Int("cache-entries", 0, "in-memory cache entry bound (0 = default)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "in-memory cache byte bound (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return campaign.Usagef("%v", err)
 	}
 	if fs.NArg() != 0 {
 		return campaign.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	if *noCache && (*cachePath != "" || *cacheEntries != 0 || *cacheBytes != 0) {
+		return campaign.Usagef("-no-cache conflicts with -cache/-cache-entries/-cache-bytes")
 	}
 
 	srv, err := server.New(server.Config{
@@ -98,6 +115,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxTimeout:       *maxTimeout,
 		DefaultScale:     *scale,
 		ChaosCorruptFrac: *chaosCorrupt,
+		NoCache:          *noCache,
+		CachePath:        *cachePath,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheBytes,
 	})
 	if err != nil {
 		return err

@@ -133,7 +133,7 @@ func (j *journal) Append(v any) error {
 	}
 	line := rb
 	if j.version >= journalV2 {
-		if line, err = json.Marshal(journalRecord{CRC: crcOf(rb), Sum: SumBytes(rb), R: rb}); err != nil {
+		if line, err = FrameRecord(rb); err != nil {
 			return err
 		}
 	}
@@ -315,23 +315,45 @@ func parseJournal[R any](blob []byte, hash string) (*journalScan[R], error) {
 // parseRecordV2 decodes and checksum-verifies one v2 record line.
 func parseRecordV2[R any](line []byte) (Result[R], error) {
 	var r Result[R]
-	var rec journalRecord
-	if err := json.Unmarshal(line, &rec); err != nil {
-		return r, fmt.Errorf("record envelope: %v", err)
+	rb, err := UnframeRecord(line)
+	if err != nil {
+		return r, err
 	}
-	if rec.CRC == "" || rec.Sum == "" || len(rec.R) == 0 {
-		return r, errors.New("record envelope missing crc/sum/r")
-	}
-	if got := crcOf(rec.R); got != rec.CRC {
-		return r, fmt.Errorf("crc32c %s, record says %s", got, rec.CRC)
-	}
-	if got := SumBytes(rec.R); got != rec.Sum {
-		return r, fmt.Errorf("sha-256 %s, record says %s", got, rec.Sum)
-	}
-	if err := json.Unmarshal(rec.R, &r); err != nil || r.ID == "" {
+	if err := json.Unmarshal(rb, &r); err != nil || r.ID == "" {
 		return r, errors.New("checksummed payload is not a result record")
 	}
 	return r, nil
+}
+
+// FrameRecord wraps marshaled payload bytes in the v2 self-verifying
+// record envelope: {crc32c, canonical sha-256, payload}, one JSON line
+// without the trailing newline. The campaign journal frames every v2
+// record this way; the result cache's disk tier reuses the exact same
+// envelope so one framing definition (and one fsck discipline) covers
+// both files.
+func FrameRecord(payload []byte) ([]byte, error) {
+	return json.Marshal(journalRecord{CRC: crcOf(payload), Sum: SumBytes(payload), R: payload})
+}
+
+// UnframeRecord reverses FrameRecord: it decodes one envelope line,
+// verifies both checksums, and returns the payload bytes. Any framing
+// or checksum failure is an error; callers decide whether that is fatal
+// (journal bitrot) or lossy (a cache miss).
+func UnframeRecord(line []byte) (json.RawMessage, error) {
+	var rec journalRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, fmt.Errorf("record envelope: %v", err)
+	}
+	if rec.CRC == "" || rec.Sum == "" || len(rec.R) == 0 {
+		return nil, errors.New("record envelope missing crc/sum/r")
+	}
+	if got := crcOf(rec.R); got != rec.CRC {
+		return nil, fmt.Errorf("crc32c %s, record says %s", got, rec.CRC)
+	}
+	if got := SumBytes(rec.R); got != rec.Sum {
+		return nil, fmt.Errorf("sha-256 %s, record says %s", got, rec.Sum)
+	}
+	return rec.R, nil
 }
 
 // JournalInfo summarizes an offline journal verification (ftspm-verify

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"ftspm/internal/campaign"
+	"ftspm/internal/core"
+	"ftspm/internal/faults"
+	"ftspm/internal/resultcache"
+	"ftspm/internal/sim"
+	"ftspm/internal/spm"
+)
+
+// This file keys experiment results for the content-addressed result
+// cache (internal/resultcache). Every evaluation here is a pure
+// function of its normalized options, so the cache key is the
+// canonical digest of exactly the fields that determine the result —
+// and nothing else. Performance knobs (Lanes, worker counts,
+// checkpoint paths) are deliberately excluded: they change how fast a
+// result is computed, never which bytes come out, so runs that differ
+// only in those knobs share cache entries.
+//
+// The key's fault component isolates the fault/wear/recovery model.
+// A lookup that matches on the problem but not on the fault model is a
+// recorded bypass, never a hit — see the resultcache package docs.
+//
+// Single evaluations and sweep jobs share one key space: the sweep job
+// for (workload, structure) under some Options caches the same entry a
+// /v1/evaluate request for that triple hits, which is what makes the
+// batch /v1/map endpoint a composition of per-pair cache lookups.
+
+// Cache key kinds. Bump the version suffix when a result-affecting
+// field is added, so old entries can never satisfy new semantics.
+const (
+	cacheKindEvaluate = "ftspm/evaluate/v1"
+	cacheKindSoak     = "ftspm/soak-trial/v1"
+)
+
+// evaluateFault is the fault model of the single-shot evaluation
+// pipeline: analytic AVF over the standard distribution, no live
+// injection. It is a fixed marker — every evaluate shares it — but it
+// keeps the two-part key shape so evaluate entries can never collide
+// with a fault-model-bearing key space.
+type evaluateFault struct {
+	Model string `json:"model"`
+}
+
+// evaluateCacheKey keys one (workload, structure, options) evaluation.
+// opts must already be normalized.
+func evaluateCacheKey(workload string, s core.Structure, opts Options) (resultcache.Key, error) {
+	base := struct {
+		Workload  string          `json:"workload"`
+		Structure string          `json:"structure"`
+		Scale     float64         `json:"scale"`
+		Budgets   core.Thresholds `json:"budgets"`
+		Priority  core.Priority   `json:"priority"`
+	}{workload, s.String(), opts.Scale, opts.Thresholds, opts.Priority}
+	return resultcache.NewKey(cacheKindEvaluate, base, evaluateFault{Model: "analytic-avf"})
+}
+
+// soakFault is the fault/wear/recovery model of one soak trial — the
+// component whose mismatch forces a bypass. Any knob that changes what
+// faults occur or how the controller reacts to them lives here.
+type soakFault struct {
+	StrikesPerAccess float64                `json:"strikes_per_access"`
+	Dist             faults.MBUDistribution `json:"dist"`
+	Target           sim.InjectionTarget    `json:"target"`
+	Seed             int64                  `json:"seed"`
+	Recovery         *spm.RecoveryConfig    `json:"recovery"`
+	Wear             *spm.WearConfig        `json:"wear"`
+}
+
+// soakCacheKey keys one (structure, trial) soak job. opts must already
+// be normalized and carry the job's structure. Trials (the campaign's
+// trial count) and Lanes are excluded: per-trial results depend only
+// on the derived seed, so campaigns of different sizes share entries.
+func soakCacheKey(opts SoakOptions, s core.Structure, trial int) (resultcache.Key, error) {
+	base := struct {
+		Workload  string          `json:"workload"`
+		Structure string          `json:"structure"`
+		Trial     int             `json:"trial"`
+		Scale     float64         `json:"scale"`
+		Budgets   core.Thresholds `json:"budgets"`
+		Priority  core.Priority   `json:"priority"`
+	}{opts.Workload, s.String(), trial, opts.Scale, opts.Thresholds, opts.Priority}
+	fault := soakFault{
+		StrikesPerAccess: opts.StrikesPerAccess,
+		Dist:             opts.Dist,
+		Target:           opts.Target,
+		Seed:             opts.Seed,
+		Recovery:         opts.Recovery,
+		Wear:             opts.Wear,
+	}
+	return resultcache.NewKey(cacheKindSoak, base, fault)
+}
+
+// UseCache attaches a result cache to the source: Job/Jobs wrap every
+// runner in a cache lookup (with singleflight collapsing), so a job
+// whose key is cached journals the cached bytes without executing.
+// Because the cache stores the exact bytes the runner would have
+// produced, campaign reports stay byte-identical either way. A nil
+// cache is a no-op.
+func (s *JobSource) UseCache(c *resultcache.Cache) error {
+	if c == nil {
+		return nil
+	}
+	keys := make(map[string]resultcache.Key, len(s.IDs))
+	switch s.Kind {
+	case KindSweep:
+		for _, st := range s.structures {
+			for _, w := range s.suite {
+				k, err := evaluateCacheKey(w.Name, st, *s.SweepOpts)
+				if err != nil {
+					return err
+				}
+				keys[sweepJobID(w.Name, st)] = k
+			}
+		}
+	case KindSoak:
+		for _, st := range s.SoakStructures {
+			opts := *s.SoakOpts
+			opts.Structure = st
+			for t := 0; t < s.SoakOpts.Trials; t++ {
+				k, err := soakCacheKey(opts, st, t)
+				if err != nil {
+					return err
+				}
+				keys[soakJobID(st, t)] = k
+			}
+		}
+	default:
+		return fmt.Errorf("experiments: UseCache on a %s source", s.Kind)
+	}
+	s.cache = c
+	s.keys = keys
+	return nil
+}
+
+// CacheKey returns the cache key of one job ID (valid only after
+// UseCache).
+func (s *JobSource) CacheKey(id string) (resultcache.Key, bool) {
+	k, ok := s.keys[id]
+	return k, ok
+}
+
+// CachedResult consults the cache (both tiers, no compute) for one job
+// and, on a hit, synthesizes the finished result exactly as a fresh
+// first-attempt run would have journaled it. The fabric coordinator
+// uses this to merge hits instantly instead of placing the job on a
+// worker.
+func (s *JobSource) CachedResult(id string) (campaign.Result[json.RawMessage], bool) {
+	if s.cache == nil {
+		return campaign.Result[json.RawMessage]{}, false
+	}
+	k, ok := s.keys[id]
+	if !ok {
+		return campaign.Result[json.RawMessage]{}, false
+	}
+	v, ok := s.cache.Get(k)
+	if !ok {
+		return campaign.Result[json.RawMessage]{}, false
+	}
+	return campaign.Result[json.RawMessage]{
+		ID:       id,
+		Status:   campaign.StatusDone,
+		Attempts: 1,
+		Value:    json.RawMessage(v),
+	}, true
+}
+
+// cachedRun wraps one job runner in the cache: lookup (or collapse
+// onto an identical in-flight run), compute on miss, store. The bytes
+// returned are the runner's own marshaling either way.
+func (s *JobSource) cachedRun(k resultcache.Key, run func(context.Context) (json.RawMessage, error)) func(context.Context) (json.RawMessage, error) {
+	return func(ctx context.Context) (json.RawMessage, error) {
+		v, _, err := s.cache.GetOrCompute(ctx, k, func(cctx context.Context) ([]byte, error) {
+			return run(cctx)
+		})
+		return v, err
+	}
+}
+
+// EvaluateCached is EvaluateCachedContext with a background context.
+func EvaluateCached(c *resultcache.Cache, name string, structure core.Structure, opts Options) (Outcome, bool, error) {
+	return EvaluateCachedContext(context.Background(), c, name, structure, opts)
+}
+
+// EvaluateCachedContext evaluates one workload × structure through the
+// result cache: a hit (or a collapse onto a concurrent identical
+// evaluation) decodes the cached bytes instead of running the
+// pipeline. The returned Outcome is the JSON round-trip of the
+// uncached one — byte-identical when re-marshaled — except that
+// Profile (excluded from JSON by design) is nil on hits. The second
+// return reports whether the cache satisfied the call. A nil cache
+// degrades to EvaluateByNameContext.
+func EvaluateCachedContext(ctx context.Context, c *resultcache.Cache, name string, structure core.Structure, opts Options) (Outcome, bool, error) {
+	if c == nil {
+		out, err := EvaluateByNameContext(ctx, name, structure, opts)
+		return out, false, err
+	}
+	opts = opts.normalize()
+	k, err := evaluateCacheKey(name, structure, opts)
+	if err != nil {
+		return Outcome{}, false, err
+	}
+	v, hit, err := c.GetOrCompute(ctx, k, func(cctx context.Context) ([]byte, error) {
+		out, err := EvaluateByNameContext(cctx, name, structure, opts)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(out)
+	})
+	if err != nil {
+		return Outcome{}, false, err
+	}
+	var out Outcome
+	if err := json.Unmarshal(v, &out); err != nil {
+		return Outcome{}, false, fmt.Errorf("experiments: decode cached outcome: %w", err)
+	}
+	return out, hit, nil
+}

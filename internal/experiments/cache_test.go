@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ftspm/internal/core"
+	"ftspm/internal/resultcache"
+	"ftspm/internal/spm"
+)
+
+func newTestCache(t *testing.T) *resultcache.Cache {
+	t.Helper()
+	c, err := resultcache.Open(resultcache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The PR's equivalence invariant for sweeps: an uncached run, a
+// cold-cache run, and a warm-cache run of the same campaign marshal to
+// byte-identical artifacts, and the warm run is all hits.
+func TestSweepCacheEquivalence(t *testing.T) {
+	opts := Options{Scale: 0.02}
+	ctx := context.Background()
+
+	plain, status, err := RunSweepCampaign(ctx, opts, CampaignConfig{})
+	if err != nil || status.Failed != 0 {
+		t.Fatalf("uncached sweep: %v (status %+v)", err, status)
+	}
+	want, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestCache(t)
+	cold, _, err := RunSweepCampaign(ctx, opts, CampaignConfig{Cache: c})
+	if err != nil {
+		t.Fatalf("cold cached sweep: %v", err)
+	}
+	coldB, _ := json.Marshal(cold)
+	if !bytes.Equal(want, coldB) {
+		t.Fatal("cold cached sweep diverges from uncached sweep")
+	}
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses == 0 {
+		t.Fatalf("cold stats = %+v, want all misses", s)
+	}
+
+	warm, _, err := RunSweepCampaign(ctx, opts, CampaignConfig{Cache: c})
+	if err != nil {
+		t.Fatalf("warm cached sweep: %v", err)
+	}
+	warmB, _ := json.Marshal(warm)
+	if !bytes.Equal(want, warmB) {
+		t.Fatal("warm cached sweep diverges from uncached sweep")
+	}
+	jobs := len(core.Structures()) * len(plain.Workloads)
+	if s2 := c.Stats(); s2.Hits != uint64(jobs) {
+		t.Fatalf("warm stats = %+v, want %d hits", s2, jobs)
+	}
+
+	// Single evaluations share the sweep's key space: an evaluate of
+	// any pair the sweep covered is a hit with re-marshaled bytes equal
+	// to the sweep's cell.
+	name := plain.Workloads[0]
+	st := core.Structures()[0]
+	out, hit, err := EvaluateCachedContext(ctx, c, name, st, opts)
+	if err != nil || !hit {
+		t.Fatalf("evaluate after sweep: hit=%v err=%v", hit, err)
+	}
+	cell, err := plain.Get(name, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, _ := json.Marshal(out)
+	cb, _ := json.Marshal(cell)
+	if !bytes.Equal(ob, cb) {
+		t.Fatal("cached evaluate diverges from the sweep cell")
+	}
+}
+
+// Same invariant for soaks, plus the bypass rule: a campaign whose
+// fault/wear/recovery model differs from the cached one records
+// bypasses and recomputes — never a false hit.
+func TestSoakCacheEquivalenceAndBypass(t *testing.T) {
+	rec := spm.DefaultRecovery()
+	opts := SoakOptions{
+		Workload: "sha", Trials: 4, Scale: 0.02,
+		StrikesPerAccess: 0.01, Seed: 7, Recovery: &rec,
+	}
+	structures := []core.Structure{core.StructFTSPM}
+	ctx := context.Background()
+
+	plain, status, err := RunSoakCampaign(ctx, opts, structures, CampaignConfig{})
+	if err != nil || status.Failed != 0 {
+		t.Fatalf("uncached soak: %v (status %+v)", err, status)
+	}
+	want, _ := json.Marshal(plain)
+
+	c := newTestCache(t)
+	for _, cfg := range []CampaignConfig{{Cache: c}, {Cache: c}} {
+		got, _, err := RunSoakCampaign(ctx, opts, structures, cfg)
+		if err != nil {
+			t.Fatalf("cached soak: %v", err)
+		}
+		gotB, _ := json.Marshal(got)
+		if !bytes.Equal(want, gotB) {
+			t.Fatal("cached soak diverges from uncached soak")
+		}
+	}
+	s := c.Stats()
+	if s.Hits != uint64(opts.Trials) || s.Misses != uint64(opts.Trials) {
+		t.Fatalf("stats = %+v, want %d hits and %d misses", s, opts.Trials, opts.Trials)
+	}
+
+	// Different strike rate: same problem, different fault model.
+	hotter := opts
+	hotter.StrikesPerAccess = 0.02
+	if _, _, err := RunSoakCampaign(ctx, hotter, structures, CampaignConfig{Cache: c}); err != nil {
+		t.Fatalf("bypass soak: %v", err)
+	}
+	s = c.Stats()
+	if s.Bypasses != uint64(opts.Trials) {
+		t.Fatalf("stats = %+v, want %d bypasses", s, opts.Trials)
+	}
+	if s.Hits != uint64(opts.Trials) {
+		t.Fatalf("stats = %+v: a fault-model change must never hit", s)
+	}
+
+	// Different recovery policy: also a bypass, even at equal rates.
+	rb := rec
+	rb.MaxRefetchRetries++
+	differentRecovery := opts
+	differentRecovery.Recovery = &rb
+	if _, _, err := RunSoakCampaign(ctx, differentRecovery, structures, CampaignConfig{Cache: c}); err != nil {
+		t.Fatalf("recovery-bypass soak: %v", err)
+	}
+	if s2 := c.Stats(); s2.Bypasses != s.Bypasses+uint64(opts.Trials) {
+		t.Fatalf("stats = %+v, want %d more bypasses", s2, opts.Trials)
+	}
+
+	// A larger campaign with the same models reuses the smaller one's
+	// trials: trial identity excludes the trial count.
+	bigger := opts
+	bigger.Trials = 6
+	if _, _, err := RunSoakCampaign(ctx, bigger, structures, CampaignConfig{Cache: c}); err != nil {
+		t.Fatalf("bigger soak: %v", err)
+	}
+	if s2 := c.Stats(); s2.Hits < uint64(opts.Trials)+uint64(opts.Trials) {
+		t.Fatalf("stats = %+v: trial-count change lost the shared trials", s2)
+	}
+}
+
+// CachedResult synthesizes exactly the record a fresh first-attempt
+// run journals, so a fabric pre-merge hit is indistinguishable from a
+// locally-run job.
+func TestCachedResultMatchesFreshRun(t *testing.T) {
+	opts := Options{Scale: 0.02}
+	c := newTestCache(t)
+	ctx := context.Background()
+	if _, _, err := RunSweepCampaign(ctx, opts, CampaignConfig{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := SweepSource(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.UseCache(c); err != nil {
+		t.Fatal(err)
+	}
+	id := src.IDs[0]
+	res, ok := src.CachedResult(id)
+	if !ok {
+		t.Fatalf("no cached result for %s after a cached sweep", id)
+	}
+	job, err := src.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := job.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Value, fresh) {
+		t.Fatal("cached result bytes diverge from a fresh run")
+	}
+	if res.ID != id || res.Attempts != 1 {
+		t.Fatalf("synthesized record %+v, want first-attempt shape", res)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ftspm/internal/campaign"
+	"ftspm/internal/resultcache"
 )
 
 // This file holds the shared configuration and status types of the
@@ -37,6 +38,12 @@ type CampaignConfig struct {
 	// Backoff is the first retry's backoff, doubling per retry
 	// (default 100ms).
 	Backoff time.Duration
+	// Cache, when non-nil, is the content-addressed result cache
+	// consulted before each job runs (and filled by each miss). Cached
+	// bytes are the exact bytes the job would have produced, so
+	// reports and checkpoints stay byte-identical; see
+	// internal/resultcache.
+	Cache *resultcache.Cache
 
 	// onJobDone is a test seam observing each finished job (used to
 	// cancel mid-campaign in the crash-resume tests).

@@ -410,6 +410,9 @@ func RunSoakCampaign(ctx context.Context, base SoakOptions, structures []core.St
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := src.UseCache(cc.Cache); err != nil {
+		return nil, nil, err
+	}
 	jobs, err := src.Jobs(src.IDs)
 	if err != nil {
 		return nil, nil, err

@@ -7,6 +7,7 @@ import (
 
 	"ftspm/internal/campaign"
 	"ftspm/internal/core"
+	"ftspm/internal/resultcache"
 	"ftspm/internal/workloads"
 )
 
@@ -49,16 +50,28 @@ type JobSource struct {
 
 	runs map[string]func(ctx context.Context) (json.RawMessage, error)
 
+	// cache state (set by UseCache): the result cache consulted before
+	// running a job, and each job's content-addressed key.
+	cache *resultcache.Cache
+	keys  map[string]resultcache.Key
+
 	// assembly state
 	suite      []workloads.Workload
 	structures []core.Structure
 }
 
-// Job returns the runnable job for one ID.
+// Job returns the runnable job for one ID. With a cache attached (see
+// UseCache), the runner consults it first and stores on miss; the
+// journaled bytes are identical either way.
 func (s *JobSource) Job(id string) (campaign.Job[json.RawMessage], error) {
 	run, ok := s.runs[id]
 	if !ok {
 		return campaign.Job[json.RawMessage]{}, fmt.Errorf("experiments: unknown job ID %q", id)
+	}
+	if s.cache != nil {
+		if k, ok := s.keys[id]; ok {
+			run = s.cachedRun(k, run)
+		}
 	}
 	return campaign.Job[json.RawMessage]{ID: id, Run: run}, nil
 }
@@ -72,6 +85,22 @@ func (s *JobSource) Jobs(ids []string) ([]campaign.Job[json.RawMessage], error) 
 			return nil, err
 		}
 		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// JobsUncached returns runnable jobs that bypass any attached cache —
+// always a real execution. Integrity audits re-execute through this
+// path: an audit that read back a memo instead of recomputing would
+// verify nothing.
+func (s *JobSource) JobsUncached(ids []string) ([]campaign.Job[json.RawMessage], error) {
+	jobs := make([]campaign.Job[json.RawMessage], 0, len(ids))
+	for _, id := range ids {
+		run, ok := s.runs[id]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown job ID %q", id)
+		}
+		jobs = append(jobs, campaign.Job[json.RawMessage]{ID: id, Run: run})
 	}
 	return jobs, nil
 }

@@ -121,6 +121,9 @@ func RunSweepCampaign(ctx context.Context, opts Options, cc CampaignConfig) (*Sw
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := src.UseCache(cc.Cache); err != nil {
+		return nil, nil, err
+	}
 	jobs, err := src.Jobs(src.IDs)
 	if err != nil {
 		return nil, nil, err

@@ -35,6 +35,7 @@ import (
 	"ftspm/internal/campaign"
 	"ftspm/internal/experiments"
 	"ftspm/internal/fabric/wire"
+	"ftspm/internal/resultcache"
 	"ftspm/internal/server"
 	"ftspm/internal/server/client"
 )
@@ -96,6 +97,16 @@ type Config struct {
 	// NoLocalFallback disables degrading to local execution when every
 	// worker is down.
 	NoLocalFallback bool
+	// Cache, when non-nil, is the coordinator's content-addressed
+	// result cache. Jobs whose results it holds merge instantly —
+	// journaled exactly as local first-attempt runs, never placed on a
+	// worker — and locally-executed fallback chunks read and fill it.
+	// The cache is a trust anchor: only locally-computed results enter
+	// it. Results streamed back by remote workers are deliberately NOT
+	// cached, because the audit path re-executes suspect jobs locally —
+	// a cache poisoned by a byzantine worker's bytes would let the
+	// worker confirm its own lies.
+	Cache *resultcache.Cache
 	// HTTPClient overrides the transport (http.DefaultClient).
 	HTTPClient *http.Client
 	// Logf, when set, receives coordinator progress and fault events.
@@ -230,12 +241,41 @@ func Run(ctx context.Context, cfg Config, src *experiments.JobSource) (*campaign
 		}
 	}
 
+	m := newMerger(jl, rep)
+	if cfg.Cache != nil {
+		// Cache pre-merge: jobs whose results the coordinator's cache
+		// already holds never reach the queue. Each hit merges through
+		// the normal path — journal-fsync first, exactly-once dedup,
+		// trusted "" origin — so the checkpoint stays byte-identical to
+		// a run that computed them, and a resume sees no difference.
+		if err := src.UseCache(cfg.Cache); err != nil {
+			return nil, fmt.Errorf("fabric: %w", err)
+		}
+		remaining := todo[:0]
+		hits := 0
+		for _, id := range todo {
+			res, ok := src.CachedResult(id)
+			if !ok {
+				remaining = append(remaining, id)
+				continue
+			}
+			if _, merr := m.add(res, ""); merr != nil {
+				return rep, fmt.Errorf("fabric: checkpoint: %w", merr)
+			}
+			hits++
+		}
+		todo = remaining
+		if hits > 0 {
+			cfg.Logf("fabric: %d jobs served from the result cache; %d to place", hits, len(todo))
+		}
+	}
+
 	f := &fabricRun{
 		cfg:      cfg,
 		src:      src,
 		tmpl:     requestFor(src, cfg),
 		q:        newQueue(todo, cfg.MaxPlacements),
-		m:        newMerger(jl, rep),
+		m:        m,
 		chunk:    chunkSize(cfg, len(todo)),
 		fp:       cfg.Fingerprint,
 		suspects: make(map[string]bool),

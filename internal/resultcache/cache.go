@@ -1,0 +1,295 @@
+package resultcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Config sizes and locates a cache.
+type Config struct {
+	// MaxEntries bounds the in-memory tier's entry count (0 = 4096).
+	MaxEntries int
+	// MaxBytes bounds the in-memory tier's total value bytes
+	// (0 = 64 MiB). Both bounds are enforced by LRU eviction; an entry
+	// larger than MaxBytes is stored on disk (if configured) but not
+	// pinned in memory.
+	MaxBytes int64
+	// Path, when non-empty, enables the on-disk tier: an append-only
+	// JSONL segment whose records reuse the campaign journal's v2
+	// self-verifying envelope. Entries evicted from memory remain
+	// servable from disk, and the file survives process restarts.
+	Path string
+	// Fingerprint is the evaluator build fingerprint (wire.Fingerprint
+	// in this repo). It versions the disk segment: a file written by a
+	// different build is discarded wholesale on open, so a stale binary
+	// can never serve results computed by different code. Required when
+	// Path is set.
+	Fingerprint string
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts lookups served from either tier (disk hits are also
+	// counted in DiskHits). Misses counts lookups that found nothing
+	// under the full key with no fault-model near-miss. Bypasses counts
+	// lookups whose base key matched a cached entry but whose
+	// fault/wear/recovery component differed — deliberately not served.
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Bypasses uint64 `json:"bypasses"`
+	// Collapsed counts GetOrCompute callers that waited on another
+	// caller's in-flight computation of the same key (singleflight).
+	Collapsed uint64 `json:"collapsed"`
+	// Evictions counts LRU evictions from the memory tier. DiskHits
+	// counts hits promoted from the disk tier; DiskDrops counts disk
+	// records discarded as corrupt, torn, stale-fingerprint, or
+	// unwritable — always a miss or a smaller file, never an error.
+	Evictions uint64 `json:"evictions"`
+	DiskHits  uint64 `json:"disk_hits"`
+	DiskDrops uint64 `json:"disk_drops"`
+	// Entries/Bytes describe the memory tier right now; DiskEntries the
+	// disk index.
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	DiskEntries int   `json:"disk_entries"`
+}
+
+// Cache is a two-tier (memory LRU + optional disk segment)
+// content-addressed result cache. All methods are safe for concurrent
+// use. Values returned by Get/GetOrCompute are private copies.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu     sync.Mutex
+	lru    *list.List               // front = most recent; elements hold *entry
+	index  map[string]*list.Element // full key → element
+	faults map[string]string        // base key → fault key last stored (bypass detection)
+	bytes  int64
+	stats  Stats
+	disk   *diskTier
+
+	fmu    sync.Mutex
+	flight map[string]*call
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// call is one in-flight computation other callers can wait on.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Open creates a cache. With cfg.Path set, the disk segment is loaded
+// (or created), dropping it first if its fingerprint does not match
+// cfg.Fingerprint. Disk corruption is never an error: bad records are
+// skipped and counted.
+func Open(cfg Config) (*Cache, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	c := &Cache{
+		maxEntries: cfg.MaxEntries,
+		maxBytes:   cfg.MaxBytes,
+		lru:        list.New(),
+		index:      make(map[string]*list.Element),
+		faults:     make(map[string]string),
+		flight:     make(map[string]*call),
+	}
+	if cfg.Path != "" {
+		if cfg.Fingerprint == "" {
+			return nil, errors.New("resultcache: disk tier requires a build fingerprint")
+		}
+		d, dropped, err := openDisk(cfg.Path, cfg.Fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		c.disk = d
+		c.stats.DiskDrops += dropped
+		for _, k := range d.keys() {
+			c.faults[k.Base] = k.Fault
+		}
+	}
+	return c, nil
+}
+
+// Get looks k up in the memory tier, then the disk tier (promoting a
+// disk hit into memory). A miss with a matching base key but different
+// fault component is counted as a bypass.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getLocked(k)
+}
+
+func (c *Cache) getLocked(k Key) ([]byte, bool) {
+	if el, ok := c.index[k.String()]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		return clone(el.Value.(*entry).val), true
+	}
+	if c.disk != nil {
+		if v, ok, dropped := c.disk.get(k); ok {
+			c.stats.Hits++
+			c.stats.DiskHits++
+			c.storeLocked(k, v)
+			return clone(v), true
+		} else if dropped > 0 {
+			c.stats.DiskDrops += dropped
+		}
+	}
+	if f, ok := c.faults[k.Base]; ok && f != k.Fault {
+		c.stats.Bypasses++
+	} else {
+		c.stats.Misses++
+	}
+	return nil, false
+}
+
+// Put stores value bytes under k in both tiers. The value is copied.
+func (c *Cache) Put(k Key, v []byte) {
+	if !k.Valid() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.index[k.String()]; ok {
+		return // content-addressed: same key ⇒ same bytes, nothing to update
+	}
+	c.storeLocked(k, clone(v))
+	if c.disk != nil {
+		if err := c.disk.put(k, v); err != nil {
+			// A failing disk tier degrades to memory-only, never errors.
+			c.stats.DiskDrops++
+			c.disk.close()
+			c.disk = nil
+		}
+	}
+}
+
+// storeLocked inserts into the memory tier and evicts LRU entries
+// until both capacity bounds hold. An entry bigger than the byte bound
+// would evict everything and still not fit; it is not pinned.
+func (c *Cache) storeLocked(k Key, v []byte) {
+	if int64(len(v)) > c.maxBytes {
+		c.faults[k.Base] = k.Fault
+		return
+	}
+	if _, ok := c.index[k.String()]; ok {
+		return
+	}
+	c.index[k.String()] = c.lru.PushFront(&entry{key: k, val: v})
+	c.bytes += int64(len(v))
+	c.faults[k.Base] = k.Fault
+	for c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		e := c.lru.Remove(el).(*entry)
+		delete(c.index, e.key.String())
+		c.bytes -= int64(len(e.val))
+		c.stats.Evictions++
+	}
+}
+
+// GetOrCompute returns the cached value for k, or runs compute exactly
+// once per key across concurrent callers (singleflight) and caches its
+// result. The second return reports whether the value came from the
+// cache or a collapsed peer computation rather than this caller's own
+// execution. Waiters whose own context is still live retry if the
+// executing caller was cancelled, so one cancelled client cannot poison
+// the flight for the others.
+func (c *Cache) GetOrCompute(ctx context.Context, k Key, compute func(context.Context) ([]byte, error)) ([]byte, bool, error) {
+	if !k.Valid() {
+		v, err := compute(ctx)
+		return v, false, err
+	}
+	ks := k.String()
+	for {
+		if v, ok := c.Get(k); ok {
+			return v, true, nil
+		}
+		c.fmu.Lock()
+		if cl, ok := c.flight[ks]; ok {
+			c.fmu.Unlock()
+			c.mu.Lock()
+			c.stats.Collapsed++
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+				if cl.err == nil {
+					return clone(cl.val), true, nil
+				}
+				if isContextErr(cl.err) && ctx.Err() == nil {
+					continue // executor cancelled, we are not: retry
+				}
+				return nil, false, cl.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		cl := &call{done: make(chan struct{})}
+		c.flight[ks] = cl
+		c.fmu.Unlock()
+
+		v, err := compute(ctx)
+		if err == nil {
+			c.Put(k, v)
+		}
+		cl.val, cl.err = v, err
+		c.fmu.Lock()
+		delete(c.flight, ks)
+		c.fmu.Unlock()
+		close(cl.done)
+		return v, false, err
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.Bytes = c.bytes
+	if c.disk != nil {
+		s.DiskEntries = c.disk.entries()
+	}
+	return s
+}
+
+// Close releases the disk tier. The memory tier stays usable.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disk != nil {
+		err := c.disk.close()
+		c.disk = nil
+		return err
+	}
+	return nil
+}
+
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,389 @@
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustKey(t *testing.T, kind string, base, fault any) Key {
+	t.Helper()
+	k, err := NewKey(kind, base, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// Two semantically identical requests whose JSON field order differs —
+// a map-typed config field marshaled from different insertion orders,
+// and hand-built raw JSON with reordered fields — must canonicalize to
+// one cache key. This is the regression test for the map-field
+// canonicalization fix.
+func TestKeyCanonicalizationFieldOrder(t *testing.T) {
+	raw1 := json.RawMessage(`{"workload":"sha","opts":{"scale":1,"lanes":4},"structure":"ftspm"}`)
+	raw2 := json.RawMessage(`{"structure":"ftspm","opts":{"lanes":4,"scale":1},"workload":"sha"}`)
+	k1 := mustKey(t, "t", raw1, nil)
+	k2 := mustKey(t, "t", raw2, nil)
+	if k1 != k2 {
+		t.Fatalf("field order split the key: %v vs %v", k1, k2)
+	}
+
+	// Map-typed fields: build the same map in adversarial insertion
+	// orders. Go map iteration is randomized, so without
+	// canonicalization this would flake rather than fail reliably —
+	// the raw-JSON case above is the deterministic witness.
+	m1 := map[string]any{"a": 1.0, "b": 2.0, "c": map[string]any{"x": true, "y": false}}
+	m2 := map[string]any{"c": map[string]any{"y": false, "x": true}, "b": 2.0, "a": 1.0}
+	k1 = mustKey(t, "t", m1, nil)
+	k2 = mustKey(t, "t", m2, nil)
+	if k1 != k2 {
+		t.Fatalf("map insertion order split the key: %v vs %v", k1, k2)
+	}
+
+	// And a changed value must split it.
+	k3 := mustKey(t, "t", map[string]any{"a": 1.0, "b": 3.0}, nil)
+	if k3 == k1 {
+		t.Fatal("different values produced one key")
+	}
+	// The kind namespaces the key space.
+	if mustKey(t, "u", m1, nil) == k1 {
+		t.Fatal("different kinds produced one key")
+	}
+}
+
+func TestGetPutAndBypass(t *testing.T) {
+	c, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]string{"workload": "sha"}
+	kA := mustKey(t, "t", base, map[string]float64{"strikes": 0.01})
+	kB := mustKey(t, "t", base, map[string]float64{"strikes": 0.02})
+
+	if _, ok := c.Get(kA); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(kA, []byte(`{"r":1}`))
+	if v, ok := c.Get(kA); !ok || string(v) != `{"r":1}` {
+		t.Fatalf("got %q %v", v, ok)
+	}
+	// Same problem, different fault model: must be a bypass, never a hit.
+	if _, ok := c.Get(kB); ok {
+		t.Fatal("false hit across fault models")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Bypasses != 1 {
+		t.Fatalf("stats = %+v, want hits=1 misses=1 bypasses=1", s)
+	}
+}
+
+// 32 goroutines issue identical and distinct requests through the
+// singleflight path; each key must compute exactly once and every
+// caller must observe byte-identical value bytes. Run under -race.
+func TestSingleflightRace(t *testing.T) {
+	c, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 32
+	const keys = 4
+	var execs [keys]atomic.Int64
+	var start, done sync.WaitGroup
+	vals := make([][]byte, goroutines)
+	errs := make([]error, goroutines)
+	start.Add(1)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			ki := g % keys
+			k := mustKey(t, "t", map[string]int{"problem": ki}, nil)
+			start.Wait()
+			v, _, err := c.GetOrCompute(context.Background(), k, func(context.Context) ([]byte, error) {
+				execs[ki].Add(1)
+				return []byte(fmt.Sprintf(`{"problem":%d,"answer":42}`, ki)), nil
+			})
+			vals[g], errs[g] = v, err
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		want := fmt.Sprintf(`{"problem":%d,"answer":42}`, g%keys)
+		if string(vals[g]) != want {
+			t.Fatalf("goroutine %d: value %q, want %q", g, vals[g], want)
+		}
+	}
+	for ki := 0; ki < keys; ki++ {
+		if n := execs[ki].Load(); n != 1 {
+			t.Fatalf("key %d computed %d times, want exactly 1", ki, n)
+		}
+	}
+}
+
+// Deterministic collapse: while one caller's compute is in flight, a
+// second caller of the same key waits on it (Collapsed counts it) and
+// receives the same bytes without executing.
+func TestSingleflightCollapseDeterministic(t *testing.T) {
+	c, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mustKey(t, "t", "slow", nil)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	first := make(chan []byte, 1)
+	go func() {
+		v, _, _ := c.GetOrCompute(context.Background(), k, func(context.Context) ([]byte, error) {
+			close(entered)
+			<-release
+			return []byte("answer"), nil
+		})
+		first <- v
+	}()
+	<-entered
+	second := make(chan []byte, 1)
+	go func() {
+		v, hit, err := c.GetOrCompute(context.Background(), k, func(context.Context) ([]byte, error) {
+			return nil, errors.New("second caller must not execute")
+		})
+		if err != nil || !hit {
+			t.Errorf("collapsed caller: hit=%v err=%v", hit, err)
+		}
+		second <- v
+	}()
+	// The second caller increments Collapsed the moment it finds the
+	// in-flight call; only then is it safe to release the executor.
+	for c.Stats().Collapsed == 0 {
+	}
+	close(release)
+	v1, v2 := <-first, <-second
+	if string(v1) != "answer" || !bytes.Equal(v1, v2) {
+		t.Fatalf("divergent values: %q vs %q", v1, v2)
+	}
+}
+
+// A compute error must not be cached, and a waiter with a live context
+// retries when the executing caller was cancelled.
+func TestGetOrComputeErrors(t *testing.T) {
+	c, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mustKey(t, "t", "p", nil)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute(context.Background(), k, func(context.Context) ([]byte, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	calls := 0
+	v, hit, err := c.GetOrCompute(context.Background(), k, func(context.Context) ([]byte, error) {
+		calls++
+		return []byte("ok"), nil
+	})
+	if err != nil || hit || string(v) != "ok" || calls != 1 {
+		t.Fatalf("v=%q hit=%v err=%v calls=%d", v, hit, err, calls)
+	}
+	// Now cached.
+	v, hit, err = c.GetOrCompute(context.Background(), k, func(context.Context) ([]byte, error) {
+		t.Fatal("computed despite cache hit")
+		return nil, nil
+	})
+	if err != nil || !hit || string(v) != "ok" {
+		t.Fatalf("v=%q hit=%v err=%v", v, hit, err)
+	}
+}
+
+// LRU capacity accounting: the entry bound and the byte bound both
+// evict from the cold end, and the byte counter tracks exactly.
+func TestLRUEviction(t *testing.T) {
+	c, err := Open(Config{MaxEntries: 3, MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) Key { return mustKey(t, "t", i, nil) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("value-%03d", i)) }
+	for i := 0; i < 5; i++ {
+		c.Put(key(i), val(i))
+	}
+	s := c.Stats()
+	if s.Entries != 3 || s.Evictions != 2 {
+		t.Fatalf("stats = %+v, want entries=3 evictions=2", s)
+	}
+	if want := int64(3 * len(val(0))); s.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", s.Bytes, want)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(key(i)); ok {
+			t.Fatalf("entry %d survived eviction", i)
+		}
+	}
+	// Touch entry 2 (now the coldest survivor is 3) and insert: 3 evicts.
+	if _, ok := c.Get(key(2)); !ok {
+		t.Fatal("entry 2 missing")
+	}
+	c.Put(key(5), val(5))
+	if _, ok := c.Get(key(3)); ok {
+		t.Fatal("LRU order ignored the Get refresh")
+	}
+	if _, ok := c.Get(key(2)); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+
+	// Byte bound: values of 100 bytes with a 250-byte budget hold 2.
+	cb, err := Open(Config{MaxEntries: 100, MaxBytes: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 4; i++ {
+		cb.Put(mustKey(t, "b", i, nil), big)
+	}
+	s = cb.Stats()
+	if s.Entries != 2 || s.Bytes != 200 || s.Evictions != 2 {
+		t.Fatalf("byte-bound stats = %+v, want entries=2 bytes=200 evictions=2", s)
+	}
+	// An entry larger than the whole budget is not pinned in memory.
+	cb.Put(mustKey(t, "b", "huge", nil), bytes.Repeat([]byte("y"), 300))
+	if s = cb.Stats(); s.Entries != 2 || s.Bytes != 200 {
+		t.Fatalf("oversized entry disturbed accounting: %+v", s)
+	}
+}
+
+func TestDiskTierRoundTripAndRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	cfg := Config{Path: path, Fingerprint: "fp-test"}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mustKey(t, "t", "problem", "fault")
+	c.Put(k, []byte(`{"answer":42}`))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same build restarts: the entry survives on disk.
+	c2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c2.Get(k)
+	if !ok || string(v) != `{"answer":42}` {
+		t.Fatalf("after restart: %q %v", v, ok)
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want disk_hits=1", s)
+	}
+	// Bypass detection works across restarts too: the fault index is
+	// rebuilt from disk.
+	kB := mustKey(t, "t", "problem", "other-fault")
+	if _, ok := c2.Get(kB); ok {
+		t.Fatal("false hit across fault models from disk")
+	}
+	if s := c2.Stats(); s.Bypasses != 1 {
+		t.Fatalf("stats = %+v, want bypasses=1", s)
+	}
+	c2.Close()
+
+	// A different build fingerprint discards the file wholesale.
+	c3, err := Open(Config{Path: path, Fingerprint: "fp-other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Get(k); ok {
+		t.Fatal("stale-build entry served")
+	}
+	if s := c3.Stats(); s.DiskDrops == 0 {
+		t.Fatalf("stats = %+v, want disk_drops > 0", s)
+	}
+	c3.Close()
+}
+
+// Corrupt and truncated disk records are detected by the record
+// envelope (CRC + SHA-256, the v2 journal framing) and treated as
+// misses — never an error, and never corrupt bytes served.
+func TestDiskCorruptionIsMissNeverError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	cfg := Config{Path: path, Fingerprint: "fp-test"}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := mustKey(t, "t", "one", nil)
+	k2 := mustKey(t, "t", "two", nil)
+	c.Put(k1, []byte(`{"v":1}`))
+	c.Put(k2, []byte(`{"v":2}`))
+	c.Close()
+
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the first record's payload region.
+	lines := bytes.SplitAfter(pristine, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("unexpected segment shape: %d lines", len(lines))
+	}
+	corrupt := append([]byte{}, pristine...)
+	off := len(lines[0]) + len(lines[1])/2
+	corrupt[off] ^= 0x41
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("corrupt record must not fail open: %v", err)
+	}
+	if _, ok := cc.Get(k1); ok {
+		t.Fatal("served a record that fails its checksum")
+	}
+	// The undamaged record still serves.
+	if v, ok := cc.Get(k2); !ok || string(v) != `{"v":2}` {
+		t.Fatalf("undamaged record lost: %q %v", v, ok)
+	}
+	if s := cc.Stats(); s.DiskDrops == 0 {
+		t.Fatalf("stats = %+v, want disk_drops > 0", s)
+	}
+	cc.Close()
+
+	// Truncate mid-record (torn tail): dropped, file reusable, and new
+	// appends land cleanly.
+	if err := os.WriteFile(path, pristine[:len(pristine)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("torn tail must not fail open: %v", err)
+	}
+	if _, ok := ct.Get(k2); ok {
+		t.Fatal("served a torn record")
+	}
+	if v, ok := ct.Get(k1); !ok || string(v) != `{"v":1}` {
+		t.Fatalf("intact record lost: %q %v", v, ok)
+	}
+	ct.Put(k2, []byte(`{"v":2}`))
+	ct.Close()
+	cr, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := cr.Get(k2); !ok || string(v) != `{"v":2}` {
+		t.Fatalf("append after truncation lost: %q %v", v, ok)
+	}
+	cr.Close()
+}

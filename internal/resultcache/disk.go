@@ -1,0 +1,198 @@
+package resultcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"ftspm/internal/campaign"
+)
+
+// The disk tier is an append-only JSONL segment: a header line naming
+// the format version and the evaluator build fingerprint, then one
+// record per cached entry, each wrapped in the campaign journal's v2
+// self-verifying envelope (CRC32C + canonical SHA-256 via
+// campaign.FrameRecord). The cache is lossy by contract, so the
+// corruption discipline is softer than the journal's: a record that
+// fails to unframe — torn tail, flipped byte, truncation — is dropped
+// and counted, never an error. A header that fails to parse, carries
+// the wrong version, or names a different build fingerprint discards
+// the whole file: results computed by different code must never be
+// served by this one.
+
+const diskVersion = 1
+
+type diskHeader struct {
+	V  int    `json:"v"`
+	FP string `json:"fp"`
+}
+
+// diskRec is the payload inside each framed record line.
+type diskRec struct {
+	B string          `json:"b"`
+	F string          `json:"f"`
+	V json.RawMessage `json:"v"`
+}
+
+type diskRef struct {
+	off int64
+	n   int
+}
+
+type diskTier struct {
+	f     *os.File
+	size  int64
+	index map[string]diskRef
+}
+
+// openDisk loads (or creates) the segment at path, returning the tier
+// and the number of records dropped as unusable.
+func openDisk(path, fp string) (*diskTier, uint64, error) {
+	blob, err := os.ReadFile(path)
+	fresh := false
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		fresh = true
+		blob = nil
+	case err != nil:
+		return nil, 0, fmt.Errorf("resultcache: %w", err)
+	}
+
+	var dropped uint64
+	d := &diskTier{index: make(map[string]diskRef)}
+	valid := int64(0)
+	if !fresh {
+		nl := bytes.IndexByte(blob, '\n')
+		var h diskHeader
+		if nl < 0 || json.Unmarshal(blob[:nl], &h) != nil || h.V != diskVersion || h.FP != fp {
+			// Unreadable header or another build's results: start over.
+			fresh = true
+			if len(blob) > 0 {
+				dropped++
+			}
+		} else {
+			valid = int64(nl + 1)
+			rest := blob[valid:]
+			for len(rest) > 0 {
+				nl := bytes.IndexByte(rest, '\n')
+				if nl < 0 {
+					dropped++ // torn tail: truncated before appends resume
+					break
+				}
+				line, lineLen := rest[:nl], int64(nl+1)
+				rest = rest[lineLen:]
+				rb, err := campaign.UnframeRecord(line)
+				var rec diskRec
+				if err != nil || json.Unmarshal(rb, &rec) != nil || rec.B == "" || rec.F == "" {
+					// Mid-file bad line: skip it but keep scanning — the
+					// surviving records are individually checksummed.
+					dropped++
+					valid += lineLen
+					continue
+				}
+				k := Key{Base: rec.B, Fault: rec.F}
+				d.index[k.String()] = diskRef{off: valid, n: nl}
+				valid += lineLen
+			}
+		}
+	}
+
+	flags := os.O_CREATE | os.O_RDWR
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, dropped, fmt.Errorf("resultcache: %w", err)
+	}
+	if fresh {
+		hdr, err := json.Marshal(diskHeader{V: diskVersion, FP: fp})
+		if err != nil {
+			f.Close()
+			return nil, dropped, err
+		}
+		hdr = append(hdr, '\n')
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, dropped, fmt.Errorf("resultcache: %w", err)
+		}
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, dropped, fmt.Errorf("resultcache: %w", err)
+		}
+		valid = int64(len(hdr))
+	} else if valid < int64(len(blob)) {
+		// Drop the torn tail so appends resume on a line boundary.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, dropped, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	d.f = f
+	d.size = valid
+	return d, dropped, nil
+}
+
+// get reads and re-verifies one record. A record that no longer
+// unframes (bitrot since open) is dropped from the index and reported
+// in the dropped count — a miss, never an error.
+func (d *diskTier) get(k Key) (val []byte, ok bool, dropped uint64) {
+	ref, exists := d.index[k.String()]
+	if !exists {
+		return nil, false, 0
+	}
+	line := make([]byte, ref.n)
+	if _, err := d.f.ReadAt(line, ref.off); err != nil {
+		delete(d.index, k.String())
+		return nil, false, 1
+	}
+	rb, err := campaign.UnframeRecord(line)
+	var rec diskRec
+	if err != nil || json.Unmarshal(rb, &rec) != nil || rec.B != k.Base || rec.F != k.Fault {
+		delete(d.index, k.String())
+		return nil, false, 1
+	}
+	return rec.V, true, 0
+}
+
+// put appends one framed record. Errors bubble up so the cache can
+// degrade to memory-only.
+func (d *diskTier) put(k Key, v []byte) error {
+	if _, ok := d.index[k.String()]; ok {
+		return nil
+	}
+	rb, err := json.Marshal(diskRec{B: k.Base, F: k.Fault, V: v})
+	if err != nil {
+		return err
+	}
+	line, err := campaign.FrameRecord(rb)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := d.f.WriteAt(line, d.size); err != nil {
+		return err
+	}
+	d.index[k.String()] = diskRef{off: d.size, n: len(line) - 1}
+	d.size += int64(len(line))
+	return nil
+}
+
+func (d *diskTier) keys() []Key {
+	out := make([]Key, 0, len(d.index))
+	for ks := range d.index {
+		// The map key is base+"."+fault; recover the parts from the
+		// stored ref by splitting on the separator, which never appears
+		// inside a hex digest.
+		for i := 0; i < len(ks); i++ {
+			if ks[i] == '.' {
+				out = append(out, Key{Base: ks[:i], Fault: ks[i+1:]})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (d *diskTier) entries() int { return len(d.index) }
+
+func (d *diskTier) close() error { return d.f.Close() }

@@ -32,6 +32,7 @@ import (
 
 	"ftspm/internal/core"
 	"ftspm/internal/experiments"
+	"ftspm/internal/resultcache"
 )
 
 // EvaluateRequest is the body of POST /v1/evaluate: one workload on one
@@ -55,6 +56,11 @@ type EvaluateResponse struct {
 	Run experiments.RunSummary `json:"run"`
 	// ElapsedMS is the service time (queueing included).
 	ElapsedMS int64 `json:"elapsed_ms"`
+
+	// cached reports whether the result cache satisfied the request.
+	// It travels in the X-Ftspm-Cache response header, never the body:
+	// cached and uncached response bodies are byte-identical.
+	cached bool
 }
 
 // SweepRequest is the body of POST /v1/sweep: the full suite × all
@@ -176,6 +182,9 @@ type HealthStatus struct {
 	Evaluate ClassStatus `json:"evaluate"`
 	Campaign ClassStatus `json:"campaign"`
 	Fabric   ClassStatus `json:"fabric"`
+	// Cache reports the result cache's hit/miss/bypass/eviction
+	// counters and tier occupancy (omitted when the cache is disabled).
+	Cache *resultcache.Stats `json:"cache,omitempty"`
 }
 
 // ReadyStatus is the body of GET /readyz.

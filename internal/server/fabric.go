@@ -51,6 +51,15 @@ func (s *Server) handleFabric(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty job list", 0)
 		return
 	}
+	// A worker's cache serves fabric chunks too: jobs this process (or
+	// a previous run of this daemon, via the disk tier) already
+	// computed stream back without re-executing. Chaos corruption, when
+	// enabled, applies at emit time — after the cache — so the drill
+	// corrupts every emission whether or not it was memoized.
+	if err := src.UseCache(s.cache); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
 	jobs, err := src.Jobs(req.JobIDs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)

@@ -19,6 +19,7 @@ import (
 	"ftspm/internal/core"
 	"ftspm/internal/experiments"
 	"ftspm/internal/fabric/wire"
+	"ftspm/internal/resultcache"
 	"ftspm/internal/spm"
 )
 
@@ -68,6 +69,16 @@ type Config struct {
 	// deliberate byzantine worker to verify the coordinator's audit
 	// machinery quarantines it. Never set it in production.
 	ChaosCorruptFrac float64
+	// NoCache disables the content-addressed result cache; every
+	// request recomputes. CachePath, when set, adds the cache's on-disk
+	// tier (an append-only segment under the operator's chosen path,
+	// versioned by the build fingerprint) so memoized results survive
+	// daemon restarts. CacheEntries/CacheBytes bound the in-memory tier
+	// (0 = resultcache defaults).
+	NoCache      bool
+	CachePath    string
+	CacheEntries int
+	CacheBytes   int64
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +127,12 @@ type Server struct {
 	brk     *Breaker
 	jobs    *jobSet
 	mux     *http.ServeMux
+	// cache is the content-addressed result cache behind every
+	// endpoint (nil with Config.NoCache). It is a trust anchor: only
+	// results this process computed enter it — never bytes received
+	// from remote workers — so a cache hit is always as trustworthy as
+	// a local run.
+	cache *resultcache.Cache
 
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
@@ -151,8 +168,21 @@ func New(cfg Config) (*Server, error) {
 	s.brk = NewBreaker(cfg.Breaker, func() time.Time { return s.nowFn() })
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	s.evalFn = s.evaluate
+	if !cfg.NoCache {
+		cache, err := resultcache.Open(resultcache.Config{
+			MaxEntries:  cfg.CacheEntries,
+			MaxBytes:    cfg.CacheBytes,
+			Path:        cfg.CachePath,
+			Fingerprint: cfg.Fingerprint,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: result cache: %w", err)
+		}
+		s.cache = cache
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/map", s.handleMap)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/soak", s.handleSoak)
 	s.mux.HandleFunc("POST /v1/fabric", s.handleFabric)
@@ -204,6 +234,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.cache != nil {
+			// Release the disk tier only after every job settled; the
+			// segment is complete and survives the restart.
+			return s.cache.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain interrupted: %w", context.Cause(ctx))
@@ -223,17 +258,23 @@ func (s *Server) timeout(ms int64) time.Duration {
 	return d
 }
 
-// evaluate is the production evaluation body behind /v1/evaluate.
+// evaluate is the production evaluation body behind /v1/evaluate. It
+// runs through the result cache: a repeated (workload, structure,
+// scale) request — or one whose sub-problem an earlier sweep already
+// computed — decodes the memoized outcome instead of simulating, and
+// concurrent identical requests collapse onto one execution. The
+// response body is byte-identical either way; cache status travels in
+// the X-Ftspm-Cache header only.
 func (s *Server) evaluate(ctx context.Context, req EvaluateRequest, structure core.Structure) (*EvaluateResponse, error) {
 	opts := experiments.Options{Scale: req.Scale}
 	if opts.Scale == 0 {
 		opts.Scale = s.cfg.DefaultScale
 	}
-	out, err := experiments.EvaluateByNameContext(ctx, req.Workload, structure, opts)
+	out, hit, err := experiments.EvaluateCachedContext(ctx, s.cache, req.Workload, structure, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &EvaluateResponse{Run: experiments.SummarizeOutcome(out)}, nil
+	return &EvaluateResponse{Run: experiments.SummarizeOutcome(out), cached: hit}, nil
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -295,6 +336,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.brk.RecordOutcome(false)
 	resp.ElapsedMS = s.nowFn().Sub(start).Milliseconds()
+	// Cache status is a header, not a body field: cached and uncached
+	// responses must stay byte-identical.
+	if resp.cached {
+		w.Header().Set("X-Ftspm-Cache", "hit")
+	} else {
+		w.Header().Set("X-Ftspm-Cache", "miss")
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -335,6 +383,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Workers:    req.Workers,
 			Retries:    req.Retries,
 			JobTimeout: time.Duration(req.JobTimeoutMS) * time.Millisecond,
+			Cache:      s.cache,
 		}
 		sw, status, runErr := experiments.RunSweepCampaign(ctx, opts, cc)
 		if sw == nil {
@@ -394,6 +443,7 @@ func (s *Server) handleSoak(w http.ResponseWriter, r *http.Request) {
 			Workers:    req.Workers,
 			Retries:    req.Retries,
 			JobTimeout: time.Duration(req.JobTimeoutMS) * time.Millisecond,
+			Cache:      s.cache,
 		}
 		reports, status, runErr := experiments.RunSoakCampaign(ctx, opts, structures, cc)
 		if reports == nil {
@@ -530,7 +580,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // state. A live-but-loaded worker still answers 200 — load steers
 // placement, it does not fail the probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthStatus{
+	st := HealthStatus{
 		Status:       "ok",
 		Draining:     s.draining.Load(),
 		Breaker:      s.brk.State(),
@@ -539,7 +589,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Evaluate:     s.evalLim.status(),
 		Campaign:     s.campLim.status(),
 		Fabric:       s.fabLim.status(),
-	})
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &cs
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
