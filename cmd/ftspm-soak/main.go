@@ -22,6 +22,10 @@
 //	           [-parallel N] [-retries N] [-job-timeout d]
 //	           [-workers host1:8077,host2:8077] [-lease 60s]
 //	           [-audit-frac 0.1] [-audit-seed 0]
+//	           [-storm] [-storm-calm 0.001] [-storm-intensity 0.2]
+//	           [-storm-calm-dwell 4000] [-storm-dwell 400] [-storm-span 2]
+//	           [-storm-thermal 1] [-storm-hot 0] [-storm-hot-blocks 4]
+//	           [-adaptive]
 //	           [-cpuprofile f] [-memprofile f] [-perfjson f]
 //
 // With -workers the campaign is sharded across the listed ftspmd
@@ -47,6 +51,17 @@
 // scalar simulator, 2..64 caps the batch width. Results are identical
 // either way; the knob exists for benchmarking and bisection.
 //
+// -storm replaces the memoryless strike process with the correlated
+// fault storm (DESIGN.md §17): Markov-modulated calm/storm bursts,
+// spatially clustered multi-word events (-storm-span), a thermal
+// write-failure ramp coupling into -wear-fail (-storm-thermal), and
+// adversarial targeting of the hottest profiled blocks (-storm-hot).
+// -adaptive arms the controller's storm defenses: windowed error-rate
+// tracking with scrub escalation and hysteresis, emergency re-fetch of
+// clean residents in storming regions, and storm-triggered bypass down
+// the degradation ladder. Storm campaigns always run the scalar
+// simulator (the packed engine rejects them and the job falls back).
+//
 // Exit status: 0 success, 1 error, 2 bad flags, 3 interrupted (partial
 // reports salvaged; resumable).
 package main
@@ -67,6 +82,7 @@ import (
 	"ftspm/internal/core"
 	"ftspm/internal/experiments"
 	"ftspm/internal/fabric"
+	"ftspm/internal/faults"
 	"ftspm/internal/fabric/wire"
 	"ftspm/internal/report"
 	"ftspm/internal/resultcache"
@@ -196,6 +212,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	wearFail := fs.Float64("wear-fail", 0, "per-word STT-RAM transient write-failure probability")
 	wearStuck := fs.Float64("wear-stuck", 0, "per-word-write STT-RAM cell wear-out probability")
 	seed := fs.Int64("seed", 1, "campaign seed")
+	storm := fs.Bool("storm", false, "replace the memoryless strike process with the correlated fault storm")
+	stormCalm := fs.Float64("storm-calm", 0.001, "calm-state strike probability per access")
+	stormIntensity := fs.Float64("storm-intensity", 0.2, "storm-state strike probability per access")
+	stormCalmDwell := fs.Float64("storm-calm-dwell", 4000, "mean calm dwell in accesses")
+	stormDwell := fs.Float64("storm-dwell", 400, "mean storm dwell in accesses")
+	stormSpan := fs.Int("storm-span", 2, "adjacent words corrupted per storm-state event")
+	stormThermal := fs.Float64("storm-thermal", 1, "wear write-failure multiplier at full storm heat (1 disables)")
+	stormHot := fs.Float64("storm-hot", 0, "fraction of strikes aimed at the hottest profiled blocks")
+	stormHotBlocks := fs.Int("storm-hot-blocks", 4, "how many hottest blocks the adversary targets per SPM")
+	adaptive := fs.Bool("adaptive", false, "arm the adaptive storm defenses (scrub escalation, emergency refresh, bypass)")
 	lanes := fs.Int("lanes", 0, "packed-engine lane width: 0 auto (64), 1 scalar, 2..64 explicit")
 	jsonPath := fs.String("json", "", "also write the reports as JSON to this file")
 	checkpoint := fs.String("checkpoint", "", "journal finished trials to this file (crash-safe campaign)")
@@ -222,6 +248,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *strike < 0 || *strike > 1 {
 		return campaign.Usagef("-strike must be a probability in [0, 1] (got %g)", *strike)
+	}
+	if *adaptive && *noRecovery {
+		return campaign.Usagef("-adaptive needs the recovery subsystem (drop -no-recovery)")
+	}
+	if (*stormHot != 0 || *stormThermal != 1) && !*storm {
+		return campaign.Usagef("-storm-* knobs need -storm")
 	}
 	if *auditFrac < 0 || *auditFrac > 1 {
 		return campaign.Usagef("-audit-frac must be a probability in [0, 1] (got %g)", *auditFrac)
@@ -300,7 +332,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		rec := spm.DefaultRecovery()
 		rec.ScrubInterval = *scrub
 		rec.DirtyPolicy = pol
+		if *adaptive {
+			ad := spm.DefaultAdaptive()
+			rec.Adaptive = &ad
+		}
 		opts.Recovery = &rec
+	}
+	if *storm {
+		opts.Storm = &faults.StormConfig{
+			CalmStrikesPerAccess:  *stormCalm,
+			StormStrikesPerAccess: *stormIntensity,
+			MeanCalmAccesses:      *stormCalmDwell,
+			MeanStormAccesses:     *stormDwell,
+			SpatialSpan:           *stormSpan,
+			ThermalFactor:         *stormThermal,
+			HotBias:               *stormHot,
+			HotBlocks:             *stormHotBlocks,
+		}
 	}
 	if *wearFail > 0 || *wearStuck > 0 {
 		opts.Wear = &spm.WearConfig{
@@ -314,8 +362,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *noRecovery {
 		mode = "detection only"
 	}
-	fmt.Fprintf(out, "soak: %s, %d trials/structure, scale %.2f, strike %.4g/access on %v (%s)\n",
-		*workload, *trials, *scale, *strike, tgt, mode)
+	if *adaptive {
+		mode = "adaptive recovery"
+	}
+	if *storm {
+		fmt.Fprintf(out, "soak: %s, %d trials/structure, scale %.2f, storm %.4g/%.4g per access (dwell %g/%g) on %v (%s)\n",
+			*workload, *trials, *scale, *stormCalm, *stormIntensity, *stormCalmDwell, *stormDwell, tgt, mode)
+	} else {
+		fmt.Fprintf(out, "soak: %s, %d trials/structure, scale %.2f, strike %.4g/access on %v (%s)\n",
+			*workload, *trials, *scale, *strike, tgt, mode)
+	}
 
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -398,6 +454,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			rep.Structure, rc.CorrectedOnAccess, rc.RefetchedWords, rc.Rollbacks,
 			rc.ScrubRuns, rc.ScrubRepairs, rc.ScrubRefetches, rc.ScrubRestores,
 			rc.WriteRetries, rc.StuckWordEvents, rc.Remaps, rc.Demotions, rc.RetiredWords)
+		if *storm {
+			fmt.Fprintf(out, "%v storm defense: peak window error rate %.4f, %d escalations / %d de-escalations "+
+				"(%d accesses escalated), %d blocks emergency-refreshed (%d words), %d storm bypasses\n",
+				rep.Structure, rc.PeakWindowErrorRate, rc.ScrubEscalations, rc.ScrubDeescalations,
+				rc.EscalatedAccesses, rc.EmergencyRefreshBlocks, rc.EmergencyRefreshWords, rc.StormBypasses)
+		}
 	}
 
 	if *jsonPath != "" {

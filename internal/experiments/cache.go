@@ -35,7 +35,7 @@ import (
 // field is added, so old entries can never satisfy new semantics.
 const (
 	cacheKindEvaluate = "ftspm/evaluate/v1"
-	cacheKindSoak     = "ftspm/soak-trial/v1"
+	cacheKindSoak     = "ftspm/soak-trial/v2" // v2: storm joined the fault half
 )
 
 // evaluateFault is the fault model of the single-shot evaluation
@@ -70,6 +70,12 @@ type soakFault struct {
 	Seed             int64                  `json:"seed"`
 	Recovery         *spm.RecoveryConfig    `json:"recovery"`
 	Wear             *spm.WearConfig        `json:"wear"`
+	// Storm is the correlated-storm model (normalized), nil for the
+	// memoryless process. Its presence in the fault half means a
+	// cached non-storm result can never satisfy a storm request (or
+	// vice versa): the key mismatch is a recorded bypass, never a
+	// hit.
+	Storm *faults.StormConfig `json:"storm"`
 }
 
 // soakCacheKey keys one (structure, trial) soak job. opts must already
@@ -92,6 +98,7 @@ func soakCacheKey(opts SoakOptions, s core.Structure, trial int) (resultcache.Ke
 		Seed:             opts.Seed,
 		Recovery:         opts.Recovery,
 		Wear:             opts.Wear,
+		Storm:            opts.Storm,
 	}
 	return resultcache.NewKey(cacheKindSoak, base, fault)
 }

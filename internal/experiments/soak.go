@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ftspm/internal/campaign"
 	"ftspm/internal/core"
@@ -52,6 +53,15 @@ type SoakOptions struct {
 	// Wear, when non-nil, applies STT-RAM write unreliability. Each
 	// trial re-derives its wear seed, so wear-out sites vary per trial.
 	Wear *spm.WearConfig
+	// Storm, when non-nil, replaces the memoryless strike process with
+	// the correlated fault storm (faults.StormConfig): Markov-modulated
+	// bursts, spatially clustered events, thermal wear ramps, and
+	// adversarial hot-block targeting. StrikesPerAccess is ignored —
+	// the storm's calm intensity is the background rate. Storm trials
+	// always run the scalar simulator: the packed engine rejects them
+	// with simd.ErrUnsupported and the job falls back. Omitted from
+	// JSON when nil so non-storm config hashes are unchanged.
+	Storm *faults.StormConfig `json:",omitempty"`
 	// Thresholds and Priority configure the MDA (defaults as in
 	// DefaultOptions).
 	Thresholds core.Thresholds
@@ -102,8 +112,20 @@ func (o SoakOptions) normalize() SoakOptions {
 	if !o.Priority.Valid() {
 		o.Priority = def.Priority
 	}
+	if o.Storm != nil {
+		st := o.Storm.Normalized()
+		o.Storm = &st
+	}
 	return o
 }
+
+// scalarFallbacks counts packed-engine declines that sent soak jobs to
+// the scalar simulator (storm/wear/unsupported configurations),
+// process-wide. Surfaced on ftspmd's /healthz.
+var scalarFallbacks atomic.Uint64
+
+// ScalarFallbackCount returns the process-wide scalar-fallback count.
+func ScalarFallbackCount() uint64 { return scalarFallbacks.Load() }
 
 // SoakReport aggregates a soak campaign.
 type SoakReport struct {
@@ -221,9 +243,13 @@ type soakStructShared struct {
 	once      sync.Once
 	spec      core.Spec
 	place     spm.Placement
-	err       error
-	ready     bool
-	packed    packedState
+	// hotWindows are the adversarial storm targets (the footprints of
+	// the profile's hottest placed blocks), computed once per
+	// structure when the storm's HotBias is armed.
+	hotWindows []faults.HotWindow
+	err        error
+	ready      bool
+	packed     packedState
 }
 
 // packedState memoizes the packed engine's output for one structure,
@@ -256,6 +282,7 @@ func (ps *packedState) trial(ctx context.Context, w workloads.Workload, spec cor
 		eng, err := buildPackedEngine(ctx, w, spec, place, events, opts)
 		if errors.Is(err, simd.ErrUnsupported) {
 			ps.off = true
+			scalarFallbacks.Add(1)
 			return soakTrialResult{}, false, nil
 		}
 		if err != nil {
@@ -271,6 +298,7 @@ func (ps *packedState) trial(ctx context.Context, w workloads.Workload, spec cor
 		res, err = packedBatch(ctx, ps.eng, opts, b*width, width)
 		if errors.Is(err, simd.ErrUnsupported) {
 			ps.off = true
+			scalarFallbacks.Add(1)
 			return soakTrialResult{}, false, nil
 		}
 		if err != nil {
@@ -289,6 +317,13 @@ func buildPackedEngine(ctx context.Context, w workloads.Workload, spec core.Spec
 	if opts.Recovery != nil {
 		rc := *opts.Recovery
 		cfg.Recovery = &rc
+	}
+	if opts.Storm != nil {
+		// Attach the storm so BuildSkeleton rejects it with
+		// ErrUnsupported and the campaign falls back to the scalar
+		// simulator (the storm process cannot be lane-packed).
+		st := *opts.Storm
+		cfg.Injection = &sim.InjectionConfig{Dist: opts.Dist, Target: opts.Target, Storm: &st}
 	}
 	sk, err := simd.BuildSkeleton(ctx, w.Program(), cfg, events)
 	if err != nil {
@@ -348,6 +383,9 @@ func (ss *soakStructShared) ensure(sh *soakShared) error {
 			return
 		}
 		ss.place = mapping.Placement
+		if st := sh.opts.Storm; st != nil && st.HotBias > 0 {
+			ss.hotWindows = computeHotWindows(ss.spec, ss.place, sh.prof, st.HotBlocks)
+		}
 		ss.ready = true
 	})
 	if ss.err != nil {
@@ -447,7 +485,7 @@ func runSoakJobBody(ctx context.Context, sh *soakShared, ss *soakStructShared,
 			return res, nil
 		}
 	}
-	res, err := runSoakTrial(ctx, w, ss.spec, ss.place, sh.events, opts, t)
+	res, err := runSoakTrial(ctx, w, ss.spec, ss.place, ss.hotWindows, sh.events, opts, t)
 	if err != nil {
 		return soakTrialResult{}, fmt.Errorf("experiments: soak trial %d: %w", t, err)
 	}
@@ -486,14 +524,19 @@ func aggregateSoak(workload string, s core.Structure, planned int, trials []soak
 // campaign is reproducible and its trials are independent. The trial's
 // simulation loop polls ctx, so a per-job deadline stops it promptly.
 func runSoakTrial(ctx context.Context, w workloads.Workload, spec core.Spec, place spm.Placement,
-	events []trace.Event, opts SoakOptions, t int) (soakTrialResult, error) {
+	hot []faults.HotWindow, events []trace.Event, opts SoakOptions, t int) (soakTrialResult, error) {
 	cfg := spec.SimConfig(place)
-	if opts.StrikesPerAccess > 0 {
+	if opts.StrikesPerAccess > 0 || opts.Storm != nil {
 		cfg.Injection = &sim.InjectionConfig{
 			StrikesPerAccess: opts.StrikesPerAccess,
 			Dist:             opts.Dist,
 			Seed:             opts.Seed + int64(t)*soakTrialStride,
 			Target:           opts.Target,
+		}
+		if opts.Storm != nil {
+			st := *opts.Storm
+			cfg.Injection.Storm = &st
+			cfg.Injection.HotWindows = hot
 		}
 	}
 	if opts.Recovery != nil {

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"sort"
+
+	"ftspm/internal/core"
+	"ftspm/internal/faults"
+	"ftspm/internal/memtech"
+	"ftspm/internal/profile"
+	"ftspm/internal/sim"
+	"ftspm/internal/spm"
+)
+
+// Adversarial storm targeting. The attack model of the storm's
+// HotBias mode is a write-stream adversary who knows the program's
+// access profile and aims its events at the SPM words holding the
+// hottest blocks — the blocks whose corruption is most likely to be
+// consumed before a scrub pass catches it. The simulator cannot know
+// block addresses ahead of residency, so the windows approximate the
+// controller's first-fit allocator: the hottest blocks' footprints
+// are assumed packed at the start of their placement region, which is
+// where first-fit lands them in the common case of early first
+// touch. Targeting is computed statically from the shared profile and
+// placement, so every trial (and PlanStorm) sees identical windows.
+
+// computeHotWindows returns the adversary's target windows: per
+// address space, the top-k hottest placed blocks (by profiled access
+// count, ties to the lower BlockID) whose placement region is not
+// strike-immune, coalesced into one window per region covering their
+// combined footprint from the region's start.
+func computeHotWindows(spec core.Spec, place spm.Placement, prof *profile.Profile, k int) []faults.HotWindow {
+	var out []faults.HotWindow
+	out = append(out, hotWindowsFor(sim.HotSurfaceInstSPM, spec.ISPM, place, prof.CodeBlocks(), k)...)
+	out = append(out, hotWindowsFor(sim.HotSurfaceDataSPM, spec.DSPM, place, prof.DataBlocks(), k)...)
+	return out
+}
+
+func hotWindowsFor(surface int, regions []spm.RegionConfig, place spm.Placement,
+	blocks []profile.BlockProfile, k int) []faults.HotWindow {
+	// Region index by kind, mirroring the controller's first-match
+	// rule (spm.NewController).
+	kindIdx := make(map[spm.RegionKind]int)
+	for i, rc := range regions {
+		if _, ok := kindIdx[rc.Kind]; !ok {
+			kindIdx[rc.Kind] = i
+		}
+	}
+	hot := make([]profile.BlockProfile, 0, len(blocks))
+	for _, bp := range blocks {
+		kind, ok := place[bp.Block.ID]
+		if !ok || kind.Immune() {
+			continue // unplaced, or strikes are absorbed anyway
+		}
+		if _, ok := kindIdx[kind]; !ok {
+			continue
+		}
+		hot = append(hot, bp)
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		ai := hot[i].Reads + hot[i].Writes
+		aj := hot[j].Reads + hot[j].Writes
+		if ai != aj {
+			return ai > aj
+		}
+		return hot[i].Block.ID < hot[j].Block.ID
+	})
+	if k < len(hot) {
+		hot = hot[:k]
+	}
+	words := make(map[int]int) // region index → accumulated footprint
+	for _, bp := range hot {
+		idx := kindIdx[place[bp.Block.ID]]
+		words[idx] += memtech.WordsIn(bp.Block.Size)
+	}
+	idxs := make([]int, 0, len(words))
+	for idx := range words {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var out []faults.HotWindow
+	for _, idx := range idxs {
+		n := words[idx]
+		if max := regions[idx].SizeBytes / memtech.WordBytes; n > max {
+			n = max
+		}
+		if n > 0 {
+			out = append(out, faults.HotWindow{Surface: surface, Region: idx, Start: 0, Words: n})
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func testSurfaces() [][]RegionSurface {
+	return [][]RegionSurface{
+		{ // surface 0: a small instruction SPM
+			{Words: 64, CodeBits: 38, Immune: false},
+			{Words: 32, CodeBits: 32, Immune: true},
+		},
+		{ // surface 1: a data SPM with a parity region
+			{Words: 128, CodeBits: 38, Immune: false},
+			{Words: 48, CodeBits: 33, Immune: false},
+		},
+	}
+}
+
+func TestDefaultStormValidates(t *testing.T) {
+	if err := DefaultStorm().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (StormConfig{}).Normalized().Validate(); err != nil {
+		t.Fatalf("normalized zero config invalid: %v", err)
+	}
+}
+
+func TestStormConfigValidateRejects(t *testing.T) {
+	bad := []StormConfig{
+		{CalmStrikesPerAccess: -0.1, StormStrikesPerAccess: 0.5, MeanCalmAccesses: 10, MeanStormAccesses: 10, SpatialSpan: 1, ThermalFactor: 1},
+		{StormStrikesPerAccess: 0, MeanCalmAccesses: 10, MeanStormAccesses: 10, SpatialSpan: 1, ThermalFactor: 1},
+		{StormStrikesPerAccess: 1.5, MeanCalmAccesses: 10, MeanStormAccesses: 10, SpatialSpan: 1, ThermalFactor: 1},
+		{StormStrikesPerAccess: 0.5, MeanCalmAccesses: 0.5, MeanStormAccesses: 10, SpatialSpan: 1, ThermalFactor: 1},
+		{StormStrikesPerAccess: 0.5, MeanCalmAccesses: 10, MeanStormAccesses: 10, SpatialSpan: 0, ThermalFactor: 1},
+		{StormStrikesPerAccess: 0.5, MeanCalmAccesses: 10, MeanStormAccesses: 10, SpatialSpan: 1, ThermalFactor: 0.5},
+		{StormStrikesPerAccess: 0.5, MeanCalmAccesses: 10, MeanStormAccesses: 10, SpatialSpan: 1, ThermalFactor: 2, ThermalRampAccesses: 0},
+		{StormStrikesPerAccess: 0.5, MeanCalmAccesses: 10, MeanStormAccesses: 10, SpatialSpan: 1, ThermalFactor: 1, HotBias: 1.5},
+		{StormStrikesPerAccess: 0.5, MeanCalmAccesses: 10, MeanStormAccesses: 10, SpatialSpan: 1, ThermalFactor: 1, HotBias: 0.5, HotBlocks: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); !errors.Is(err, ErrBadStormConfig) {
+			t.Errorf("config %d: err = %v, want ErrBadStormConfig", i, err)
+		}
+	}
+}
+
+func TestNewStormProcessRejectsBadWindows(t *testing.T) {
+	surf := testSurfaces()
+	bad := []HotWindow{
+		{Surface: 2, Region: 0, Start: 0, Words: 1},
+		{Surface: 0, Region: 5, Start: 0, Words: 1},
+		{Surface: 0, Region: 0, Start: 60, Words: 10},
+		{Surface: 0, Region: 0, Start: -1, Words: 2},
+		{Surface: 0, Region: 0, Start: 0, Words: 0},
+	}
+	for i, w := range bad {
+		if _, err := NewStormProcess(DefaultStorm(), Dist40nm, 1, surf, []HotWindow{w}); !errors.Is(err, ErrBadStormConfig) {
+			t.Errorf("window %d: err = %v, want ErrBadStormConfig", i, err)
+		}
+	}
+	if _, err := NewStormProcess(DefaultStorm(), Dist40nm, 1, nil, nil); !errors.Is(err, ErrBadStormConfig) {
+		t.Errorf("empty surface: err = %v, want ErrBadStormConfig", err)
+	}
+}
+
+// TestPlanStormDeterministic pins the tentpole guarantee: the same
+// seed and config yield a byte-identical schedule, and live Step()
+// consumption reproduces the plan exactly.
+func TestPlanStormDeterministic(t *testing.T) {
+	surf := testSurfaces()
+	hot := []HotWindow{{Surface: 1, Region: 0, Start: 0, Words: 16}}
+	cfg := DefaultStorm()
+	cfg.HotBias = 0.3
+	cfg.HotBlocks = 2
+	const accesses = 50_000
+
+	a, err := PlanStorm(cfg, Dist40nm, 42, surf, hot, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanStorm(cfg, Dist40nm, 42, surf, hot, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("same seed+config produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("storm produced no events over 50k accesses (vacuous test)")
+	}
+
+	// A live process stepped the same number of times emits the same
+	// events at the same access indices.
+	p, err := NewStormProcess(cfg, Dist40nm, 42, surf, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []PlannedStormEvent
+	for p.Accesses() < accesses {
+		for _, ev := range p.Step() {
+			live = append(live, PlannedStormEvent{
+				AtAccess: p.Accesses(), Surface: ev.Surface,
+				Region: ev.Region, Word: ev.Word, Delta: ev.Delta,
+			})
+		}
+	}
+	jl, _ := json.Marshal(live)
+	if !bytes.Equal(ja, jl) {
+		t.Fatal("live Step() sequence diverged from PlanStorm")
+	}
+
+	// Different seeds diverge (the process actually uses its RNG).
+	c, err := PlanStorm(cfg, Dist40nm, 43, surf, hot, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jc, _ := json.Marshal(c); bytes.Equal(ja, jc) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// checkStormInvariants validates a schedule against the surface
+// geometry: in-bounds locations, immune regions absorb (Delta 0),
+// non-immune deltas fit the region's code bits, events are ordered by
+// access index, and clustered events stay within SpatialSpan adjacent
+// words of one region.
+func checkStormInvariants(t *testing.T, cfg StormConfig, surf [][]RegionSurface, plan []PlannedStormEvent, accesses uint64) {
+	t.Helper()
+	cfg = cfg.Normalized()
+	var last uint64
+	for i, ev := range plan {
+		if ev.AtAccess == 0 || ev.AtAccess > accesses {
+			t.Fatalf("event %d: access %d outside (0,%d]", i, ev.AtAccess, accesses)
+		}
+		if ev.AtAccess < last {
+			t.Fatalf("event %d: access %d before predecessor %d", i, ev.AtAccess, last)
+		}
+		last = ev.AtAccess
+		if ev.Surface < 0 || ev.Surface >= len(surf) {
+			t.Fatalf("event %d: surface %d out of range", i, ev.Surface)
+		}
+		regions := surf[ev.Surface]
+		if ev.Region < 0 || ev.Region >= len(regions) {
+			t.Fatalf("event %d: region %d out of range", i, ev.Region)
+		}
+		r := regions[ev.Region]
+		if ev.Word < 0 || ev.Word >= r.Words {
+			t.Fatalf("event %d: word %d outside region of %d words", i, ev.Word, r.Words)
+		}
+		if r.Immune {
+			if ev.Delta != 0 {
+				t.Fatalf("event %d: immune region took delta %#x", i, ev.Delta)
+			}
+		} else {
+			if r.CodeBits < 64 && ev.Delta>>uint(r.CodeBits) != 0 {
+				t.Fatalf("event %d: delta %#x exceeds %d code bits", i, ev.Delta, r.CodeBits)
+			}
+			if ev.Delta == 0 {
+				t.Fatalf("event %d: non-immune region took empty delta", i)
+			}
+		}
+		// Cluster shape: all events of one access share a region and
+		// span at most SpatialSpan consecutive words.
+		if i > 0 && plan[i-1].AtAccess == ev.AtAccess {
+			prev := plan[i-1]
+			if prev.Surface != ev.Surface || prev.Region != ev.Region {
+				t.Fatalf("event %d: cluster crosses regions", i)
+			}
+			if ev.Word != prev.Word+1 {
+				t.Fatalf("event %d: cluster words not adjacent (%d after %d)", i, ev.Word, prev.Word)
+			}
+		}
+	}
+	// Span bound: count the longest same-access run.
+	run, maxRun := 1, 1
+	for i := 1; i < len(plan); i++ {
+		if plan[i].AtAccess == plan[i-1].AtAccess {
+			run++
+		} else {
+			run = 1
+		}
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	if maxRun > cfg.SpatialSpan {
+		t.Fatalf("cluster of %d words exceeds spatial span %d", maxRun, cfg.SpatialSpan)
+	}
+}
+
+func TestPlanStormInvariants(t *testing.T) {
+	surf := testSurfaces()
+	cfg := DefaultStorm()
+	cfg.SpatialSpan = 3
+	cfg.HotBias = 0.5
+	cfg.HotBlocks = 2
+	hot := []HotWindow{
+		{Surface: 0, Region: 0, Start: 8, Words: 8},
+		{Surface: 1, Region: 1, Start: 0, Words: 12},
+	}
+	const accesses = 100_000
+	plan, err := PlanStorm(cfg, Dist40nm, 7, surf, hot, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStormInvariants(t, cfg, surf, plan, accesses)
+}
+
+func TestStormWearScaleRamp(t *testing.T) {
+	cfg := StormConfig{
+		CalmStrikesPerAccess:  0,
+		StormStrikesPerAccess: 0.5,
+		MeanCalmAccesses:      10,
+		MeanStormAccesses:     10,
+		SpatialSpan:           1,
+		ThermalFactor:         4,
+		ThermalRampAccesses:   16,
+	}
+	p, err := NewStormProcess(cfg, Dist40nm, 5, testSurfaces(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.WearScale(); got != 1 {
+		t.Fatalf("initial wear scale %v, want 1", got)
+	}
+	sawHot := false
+	for i := 0; i < 10_000; i++ {
+		p.Step()
+		s := p.WearScale()
+		if s < 1 || s > cfg.ThermalFactor {
+			t.Fatalf("wear scale %v outside [1,%v]", s, cfg.ThermalFactor)
+		}
+		if s > 1 {
+			sawHot = true
+		}
+	}
+	if !sawHot {
+		t.Error("thermal ramp never engaged over 10k accesses")
+	}
+}
+
+// FuzzPlanStorm fuzzes the determinism contract and schedule
+// invariants over arbitrary configs and seeds.
+func FuzzPlanStorm(f *testing.F) {
+	f.Add(int64(1), 0.001, 0.2, 4000.0, 400.0, 2, 1.0, uint64(256), 0.0)
+	f.Add(int64(99), 0.0, 0.9, 10.0, 10.0, 4, 8.0, uint64(8), 0.5)
+	f.Add(int64(-7), 0.05, 0.5, 100.0, 50.0, 1, 2.0, uint64(64), 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, calm, storm, calmDwell, stormDwell float64,
+		span int, thermal float64, ramp uint64, hotBias float64) {
+		cfg := StormConfig{
+			CalmStrikesPerAccess:  calm,
+			StormStrikesPerAccess: storm,
+			MeanCalmAccesses:      calmDwell,
+			MeanStormAccesses:     stormDwell,
+			SpatialSpan:           span,
+			ThermalFactor:         thermal,
+			ThermalRampAccesses:   ramp,
+			HotBias:               hotBias,
+			HotBlocks:             2,
+		}
+		surf := testSurfaces()
+		hot := []HotWindow{{Surface: 0, Region: 0, Start: 0, Words: 8}}
+		const accesses = 4096
+		a, err := PlanStorm(cfg, Dist40nm, seed, surf, hot, accesses)
+		if err != nil {
+			if !errors.Is(err, ErrBadStormConfig) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return // invalid config rejected up front: fine
+		}
+		b, err := PlanStorm(cfg, Dist40nm, seed, surf, hot, accesses)
+		if err != nil {
+			t.Fatalf("second plan errored after first succeeded: %v", err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatal("same seed+config produced different schedules")
+		}
+		checkStormInvariants(t, cfg, surf, a, accesses)
+	})
+}

@@ -32,6 +32,7 @@ import (
 
 	"ftspm/internal/core"
 	"ftspm/internal/experiments"
+	"ftspm/internal/faults"
 	"ftspm/internal/resultcache"
 )
 
@@ -102,6 +103,16 @@ type SoakRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// NoRecovery runs the detection-only baseline.
 	NoRecovery bool `json:"no_recovery,omitempty"`
+	// Storm, when non-nil, runs the campaign under the correlated
+	// fault storm (faults.StormConfig) instead of the memoryless
+	// strike process; Strike is then ignored (the storm's calm
+	// intensity is the background rate). Unset numeric fields resolve
+	// to the DefaultStorm values.
+	Storm *faults.StormConfig `json:"storm,omitempty"`
+	// AdaptiveScrub arms the controller's adaptive storm defenses
+	// (spm.DefaultAdaptive): scrub escalation with hysteresis,
+	// emergency refresh, and storm bypass. Ignored with NoRecovery.
+	AdaptiveScrub bool `json:"adaptive_scrub,omitempty"`
 	// Lanes caps the packed engine's batch width: 0 auto-packs up to
 	// 64 trials per trace pass, 1 forces the scalar simulator. The
 	// results are identical either way.
@@ -185,6 +196,18 @@ type HealthStatus struct {
 	// Cache reports the result cache's hit/miss/bypass/eviction
 	// counters and tier occupancy (omitted when the cache is disabled).
 	Cache *resultcache.Stats `json:"cache,omitempty"`
+	// Storm reports the storm-soak counters: campaigns served in storm
+	// mode and process-wide packed-engine scalar fallbacks.
+	Storm *StormHealth `json:"storm,omitempty"`
+}
+
+// StormHealth is the /healthz storm-soak counter block.
+type StormHealth struct {
+	// Jobs counts soak campaigns served in storm mode.
+	Jobs uint64 `json:"jobs"`
+	// ScalarFallbacks counts packed-engine declines that fell back to
+	// the scalar simulator (process-wide, all causes).
+	ScalarFallbacks uint64 `json:"scalar_fallbacks"`
 }
 
 // ReadyStatus is the body of GET /readyz.

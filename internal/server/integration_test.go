@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"ftspm/internal/faults"
 	"ftspm/internal/server"
 	"ftspm/internal/server/client"
 )
@@ -86,6 +87,46 @@ func TestSoakJobLifecycle(t *testing.T) {
 	jobs, err := cl.Jobs(context.Background())
 	if err != nil || len(jobs.Jobs) != 1 {
 		t.Fatalf("job list: %v %+v, want exactly the one job", err, jobs)
+	}
+}
+
+// TestStormSoakJobAndHealthCounters runs a storm soak with the
+// adaptive defenses through the HTTP API and checks the /healthz storm
+// counters: the job is counted, and the packed engine's refusal of the
+// storm shows up as scalar fallbacks.
+func TestStormSoakJobAndHealthCounters(t *testing.T) {
+	_, cl := startDaemon(t, t.TempDir())
+	st := runToCompletion(t, cl, server.SoakRequest{
+		Trials: 2, Scale: 0.02, Seed: 7, Workers: 1,
+		Storm: &faults.StormConfig{
+			StormStrikesPerAccess: 0.25,
+			MeanCalmAccesses:      500,
+			MeanStormAccesses:     200,
+		},
+		AdaptiveScrub: true,
+	})
+	if st.State != server.JobDone {
+		t.Fatalf("job state = %q (error %q), want done", st.State, st.Error)
+	}
+	var res server.SoakResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatalf("decode result: %v\n%s", err, st.Result)
+	}
+	if len(res.Reports) != 1 || res.Reports[0].Strikes == 0 {
+		t.Fatalf("storm soak injected nothing: %+v", res)
+	}
+	hs, err := cl.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if hs.Storm == nil {
+		t.Fatal("healthz omits the storm counters")
+	}
+	if hs.Storm.Jobs == 0 {
+		t.Errorf("storm jobs served = 0, want >= 1")
+	}
+	if hs.Storm.ScalarFallbacks == 0 {
+		t.Errorf("scalar fallbacks = 0: the packed engine should have declined the storm")
 	}
 }
 

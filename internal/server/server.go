@@ -141,6 +141,8 @@ type Server struct {
 	// inFlight counts executing work units — running async jobs plus
 	// fabric chunks — for the /healthz load report.
 	inFlight atomic.Int64
+	// stormJobs counts soak campaigns served in storm mode (/healthz).
+	stormJobs atomic.Uint64
 
 	// nowFn and evalFn are test seams: the clock, and the synchronous
 	// evaluation body (replaced by overload tests with gated stubs).
@@ -421,7 +423,7 @@ func (s *Server) handleSoak(w http.ResponseWriter, r *http.Request) {
 		structures = append(structures, st)
 	}
 	strike := req.Strike
-	if strike == 0 {
+	if strike == 0 && req.Storm == nil {
 		strike = 0.01
 	}
 	opts := experiments.SoakOptions{
@@ -431,10 +433,18 @@ func (s *Server) handleSoak(w http.ResponseWriter, r *http.Request) {
 		StrikesPerAccess: strike,
 		Seed:             req.Seed,
 		Lanes:            req.Lanes,
+		Storm:            req.Storm,
 	}
 	if !req.NoRecovery {
 		rec := spm.DefaultRecovery()
+		if req.AdaptiveScrub {
+			ad := spm.DefaultAdaptive()
+			rec.Adaptive = &ad
+		}
 		opts.Recovery = &rec
+	}
+	if req.Storm != nil {
+		s.stormJobs.Add(1)
 	}
 	s.submitJob(w, "soak", req.Checkpoint, func(ctx context.Context, ckptPath string) (json.RawMessage, error) {
 		cc := experiments.CampaignConfig{
@@ -593,6 +603,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		st.Cache = &cs
+	}
+	st.Storm = &StormHealth{
+		Jobs:            s.stormJobs.Load(),
+		ScalarFallbacks: experiments.ScalarFallbackCount(),
 	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -112,7 +112,26 @@ type InjectionConfig struct {
 	Seed int64
 	// Target selects the struck SPM(s); the zero value is the data SPM.
 	Target InjectionTarget
+	// Storm, when non-nil, replaces the memoryless per-access strike
+	// draw with the correlated storm process (faults.StormConfig):
+	// Markov-modulated burst intensities, spatially clustered
+	// multi-word events, thermal wear ramps, and adversarial
+	// hot-block targeting. StrikesPerAccess is ignored under a storm
+	// (the calm-state intensity is the background rate); Dist, Seed,
+	// and Target apply as usual.
+	Storm *faults.StormConfig
+	// HotWindows lists the adversarial mode's targets: word ranges
+	// holding the profile's hottest blocks. Surface 0 is the
+	// instruction SPM, 1 the data SPM; windows on an untargeted SPM
+	// are ignored. Only meaningful with Storm.HotBias > 0.
+	HotWindows []faults.HotWindow
 }
+
+// Sim-convention hot-window surface indices (InjectionConfig.HotWindows).
+const (
+	HotSurfaceInstSPM = 0
+	HotSurfaceDataSPM = 1
+)
 
 // DefaultPlatform fills the non-SPM parts of a Config with the Table IV
 // platform: two 8 KB unprotected-SRAM L1s and the default off-chip
@@ -331,7 +350,14 @@ func (m *Machine) run(ctx context.Context, s trace.Stream, plan *schedule.Plan) 
 	accessIdx := 0
 	planPos := 0
 	var strikeRNG *rand.Rand
-	if m.cfg.Injection != nil && m.cfg.Injection.StrikesPerAccess > 0 {
+	var storm *stormState
+	switch {
+	case m.cfg.Injection != nil && m.cfg.Injection.Storm != nil:
+		var err error
+		if storm, err = m.newStormState(); err != nil {
+			return Result{}, err
+		}
+	case m.cfg.Injection != nil && m.cfg.Injection.StrikesPerAccess > 0:
 		if err := m.cfg.Injection.Dist.Validate(); err != nil {
 			return Result{}, fmt.Errorf("sim: injection: %w", err)
 		}
@@ -375,6 +401,11 @@ func (m *Machine) run(ctx context.Context, s trace.Stream, plan *schedule.Plan) 
 					return Result{}, fmt.Errorf("sim: injection: %w", err)
 				}
 				res.InjectedStrikes++
+			}
+			if storm != nil {
+				if err := storm.step(&res); err != nil {
+					return Result{}, err
+				}
 			}
 			a := e.Access
 			res.Cycles += memtech.Cycles(a.Think)
@@ -423,6 +454,99 @@ func (m *Machine) run(ctx context.Context, s trace.Stream, plan *schedule.Plan) 
 		res.DataRegionStats[r.Kind()] = agg
 	}
 	return res, nil
+}
+
+// stormState drives one run's correlated fault storm: the
+// seed-deterministic faults.StormProcess plus the SPM surfaces it
+// strikes and the thermal coupling into the wear models.
+type stormState struct {
+	proc      *faults.StormProcess
+	spms      []*spm.SPM // process surface index → struck SPM
+	thermal   bool       // wear model attached and ThermalFactor > 1
+	lastScale float64
+	iSPM      *spm.SPM
+	dSPM      *spm.SPM
+}
+
+// newStormState builds the storm process over the targeted SPMs. The
+// surface order follows the injection target (inst before data for
+// TargetBothSPMs), and hot windows are translated from the
+// HotSurface* convention, dropping windows on untargeted SPMs.
+func (m *Machine) newStormState() (*stormState, error) {
+	inj := m.cfg.Injection
+	if !inj.Target.Valid() {
+		return nil, fmt.Errorf("sim: injection: unknown target %d", int(inj.Target))
+	}
+	st := &stormState{iSPM: m.iSPM, dSPM: m.dSPM, lastScale: 1}
+	instSurf, dataSurf := -1, -1
+	switch inj.Target {
+	case TargetInstSPM:
+		st.spms = []*spm.SPM{m.iSPM}
+		instSurf = 0
+	case TargetBothSPMs:
+		st.spms = []*spm.SPM{m.iSPM, m.dSPM}
+		instSurf, dataSurf = 0, 1
+	default:
+		st.spms = []*spm.SPM{m.dSPM}
+		dataSurf = 0
+	}
+	surfaces := make([][]faults.RegionSurface, len(st.spms))
+	for i, s := range st.spms {
+		for _, r := range s.Regions() {
+			surfaces[i] = append(surfaces[i], faults.RegionSurface{
+				Words: r.Words(), CodeBits: r.Codec().CodeBits(), Immune: r.Kind().Immune(),
+			})
+		}
+	}
+	var hot []faults.HotWindow
+	for _, w := range inj.HotWindows {
+		switch w.Surface {
+		case HotSurfaceInstSPM:
+			w.Surface = instSurf
+		case HotSurfaceDataSPM:
+			w.Surface = dataSurf
+		default:
+			return nil, fmt.Errorf("sim: injection: hot window surface %d is neither inst (%d) nor data (%d)",
+				w.Surface, HotSurfaceInstSPM, HotSurfaceDataSPM)
+		}
+		if w.Surface < 0 {
+			continue // the window's SPM is not targeted
+		}
+		hot = append(hot, w)
+	}
+	proc, err := faults.NewStormProcess(*inj.Storm, inj.Dist, inj.Seed, surfaces, hot)
+	if err != nil {
+		return nil, fmt.Errorf("sim: injection: %w", err)
+	}
+	st.proc = proc
+	st.thermal = m.cfg.Wear != nil && inj.Storm.Normalized().ThermalFactor > 1
+	return st, nil
+}
+
+// step advances the storm one access, lands its events on the SPM
+// words, and forwards the thermal wear scale when it moves.
+func (st *stormState) step(res *Result) error {
+	events := st.proc.Step()
+	if len(events) > 0 {
+		res.InjectedStrikes++
+		for _, ev := range events {
+			r, err := st.spms[ev.Surface].Region(ev.Region)
+			if err != nil {
+				return fmt.Errorf("sim: storm: %w", err)
+			}
+			if err := r.ApplyStrikeDelta(ev.Word, ev.Delta); err != nil {
+				return fmt.Errorf("sim: storm: %w", err)
+			}
+		}
+	}
+	if st.thermal {
+		if scale := st.proc.WearScale(); scale != st.lastScale {
+			st.lastScale = scale
+			st.iSPM.SetWearScale(scale)
+			st.dSPM.SetWearScale(scale)
+		}
+	}
+	return nil
 }
 
 // strikeTarget picks the SPM one particle strike lands on per the

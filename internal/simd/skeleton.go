@@ -203,6 +203,18 @@ func BuildSkeleton(ctx context.Context, prog *program.Program, cfg sim.Config, e
 		// shared-trajectory argument collapses.
 		return nil, fmt.Errorf("%w: wear model attached", ErrUnsupported)
 	}
+	if cfg.Injection != nil && cfg.Injection.Storm != nil {
+		// Correlated storms emit multi-word events from a stateful
+		// process and couple into the wear scale; the per-lane strike
+		// schedule (faults.PlanStrike) cannot express them.
+		return nil, fmt.Errorf("%w: storm injection model attached", ErrUnsupported)
+	}
+	if cfg.Recovery != nil && cfg.Recovery.Adaptive != nil {
+		// Adaptive defenses make scrub timing and block placement
+		// depend on each lane's error history, so lanes no longer
+		// share one trajectory.
+		return nil, fmt.Errorf("%w: adaptive recovery attached", ErrUnsupported)
+	}
 	rcfg := cfg
 	rcfg.Injection = nil // the recording run is fault-free by definition
 	m, err := sim.New(prog, rcfg)

@@ -1,0 +1,277 @@
+package spm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ftspm/internal/program"
+)
+
+// adaptiveFixture is recoveryFixture with the storm defenses armed.
+func adaptiveFixture(t *testing.T, rc RecoveryConfig, ac AdaptiveConfig) (*Controller, map[string]program.BlockID) {
+	t.Helper()
+	rc.Adaptive = &ac
+	ctl, _, ids := recoveryFixture(t, rc)
+	return ctl, ids
+}
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	if err := DefaultAdaptive().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AdaptiveConfig{
+		{WindowAccesses: 0, EscalateRate: 0.1, EscalatedScrubInterval: 16},
+		{WindowAccesses: 16, EscalateRate: 0, EscalatedScrubInterval: 16},
+		{WindowAccesses: 16, EscalateRate: 0.1, DeescalateRate: 0.5, EscalatedScrubInterval: 16},
+		{WindowAccesses: 16, EscalateRate: 0.1, EscalatedScrubInterval: 0},
+		{WindowAccesses: 16, EscalateRate: 0.1, EscalatedScrubInterval: 16, MinDwellWindows: -1},
+		{WindowAccesses: 16, EscalateRate: 0.1, EscalatedScrubInterval: 16, BypassRate: -0.5},
+	}
+	for i, ac := range bad {
+		if err := ac.Validate(); !errors.Is(err, ErrBadRecoveryConfig) {
+			t.Errorf("config %d: err = %v, want ErrBadRecoveryConfig", i, err)
+		}
+	}
+	// Adaptive scrub escalation needs a base scrub to escalate.
+	rc := DefaultRecovery()
+	rc.ScrubInterval = 0
+	ad := DefaultAdaptive()
+	rc.Adaptive = &ad
+	if err := rc.Validate(); !errors.Is(err, ErrBadRecoveryConfig) {
+		t.Errorf("adaptive without base scrub accepted: %v", err)
+	}
+}
+
+// hammer injects a fresh single-bit strike into the block's first word
+// and reads it, so every access yields one corrected-on-access event —
+// a 100% window error rate.
+func hammer(t *testing.T, ctl *Controller, id program.BlockID, rng *rand.Rand, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		res := ctl.resident[id]
+		if res.live {
+			r := ctl.regions[res.region]
+			if _, err := r.InjectStrike(rng, res.baseWord, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ctl.Access(id, 0, 4, false); err != nil && !errors.Is(err, ErrNotMapped) {
+			t.Fatal(err)
+		}
+	}
+}
+
+// quiet performs fault-free accesses.
+func quiet(t *testing.T, ctl *Controller, id program.BlockID, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := ctl.Access(id, 0, 4, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAdaptiveEscalatesAndDeescalates(t *testing.T) {
+	rc := DefaultRecovery()
+	rc.ScrubInterval = 1 << 20 // park the base scrubber
+	ctl, ids := adaptiveFixture(t, rc, AdaptiveConfig{
+		WindowAccesses:         16,
+		EscalateRate:           0.5,
+		DeescalateRate:         0.05,
+		EscalatedScrubInterval: 8,
+		MinDwellWindows:        4,
+	})
+	warm := ids["Warm"]
+	rng := rand.New(rand.NewSource(3))
+
+	quiet(t, ctl, warm, 1) // map in
+	hammer(t, ctl, warm, rng, 40)
+	st := ctl.Stats().Recovery
+	if st.ScrubEscalations != 1 {
+		t.Fatalf("ScrubEscalations = %d, want 1", st.ScrubEscalations)
+	}
+	if !ctl.escalated {
+		t.Fatal("controller not in the escalated state after a hammered window")
+	}
+	if st.EscalatedAccesses == 0 {
+		t.Error("no accesses counted as escalated")
+	}
+	if st.PeakWindowErrorRate < 0.5 {
+		t.Errorf("PeakWindowErrorRate = %v, want >= 0.5", st.PeakWindowErrorRate)
+	}
+
+	// While escalated, scrub runs every EscalatedScrubInterval accesses
+	// instead of the parked base interval.
+	runsBefore := ctl.Stats().Recovery.ScrubRuns
+	quiet(t, ctl, warm, 32)
+	if got := ctl.Stats().Recovery.ScrubRuns - runsBefore; got < 3 {
+		t.Errorf("escalated scrub ran %d times over 32 accesses, want >= 3", got)
+	}
+
+	// Hysteresis: the error rate is now ~0, but de-escalation waits out
+	// MinDwellWindows before dropping back.
+	quiet(t, ctl, warm, 16*5)
+	st = ctl.Stats().Recovery
+	if st.ScrubDeescalations != 1 {
+		t.Fatalf("ScrubDeescalations = %d, want 1", st.ScrubDeescalations)
+	}
+	if ctl.escalated {
+		t.Fatal("controller still escalated after quiet dwell windows")
+	}
+	runsBefore = ctl.Stats().Recovery.ScrubRuns
+	quiet(t, ctl, warm, 32)
+	if got := ctl.Stats().Recovery.ScrubRuns - runsBefore; got != 0 {
+		t.Errorf("base scrub ran %d times after de-escalation, want 0", got)
+	}
+}
+
+func TestEmergencyRefreshFlushesLatentCorruption(t *testing.T) {
+	rc := DefaultRecovery()
+	rc.ScrubInterval = 1 << 20
+	ctl, ids := adaptiveFixture(t, rc, AdaptiveConfig{
+		WindowAccesses:         16,
+		EscalateRate:           0.5,
+		EscalatedScrubInterval: 1 << 20, // isolate the refresh from the scrubber
+		EmergencyRefresh:       true,
+	})
+	warm := ids["Warm"]
+	rng := rand.New(rand.NewSource(5))
+	quiet(t, ctl, warm, 1)
+
+	// Plant a latent double-bit error (a SEC-DED DUE) in a word of the
+	// clean resident block that the hammered accesses never touch.
+	res := ctl.resident[warm]
+	r := ctl.regions[res.region]
+	latent := res.baseWord + res.words - 1
+	if err := r.ApplyStrikeDelta(latent, 0b11); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, oc, err := r.ReadChecked(latent, 1); err != nil || len(oc.Detected) != 1 {
+		t.Fatalf("latent DUE not armed: oc=%+v err=%v", oc, err)
+	}
+
+	hammer(t, ctl, warm, rng, 20)
+	st := ctl.Stats().Recovery
+	if st.ScrubEscalations == 0 {
+		t.Fatal("escalation never fired")
+	}
+	if st.EmergencyRefreshBlocks == 0 || st.EmergencyRefreshWords < uint64(res.words) {
+		t.Fatalf("emergency refresh did not rewrite the block: %d blocks / %d words",
+			st.EmergencyRefreshBlocks, st.EmergencyRefreshWords)
+	}
+	if _, _, oc, err := r.ReadChecked(latent, 1); err != nil || len(oc.Detected) != 0 {
+		t.Fatalf("latent DUE survived the emergency refresh: oc=%+v err=%v", oc, err)
+	}
+}
+
+func TestStormBypassDemotesAfflictedBlock(t *testing.T) {
+	rc := DefaultRecovery()
+	rc.ScrubInterval = 1 << 20
+	ctl, ids := adaptiveFixture(t, rc, AdaptiveConfig{
+		WindowAccesses:         16,
+		EscalateRate:           0.5,
+		EscalatedScrubInterval: 1 << 20,
+		BypassRate:             0.5,
+	})
+	warm := ids["Warm"] // 1024 B in the 1 KiB ECC region; no fallback fits
+	rng := rand.New(rand.NewSource(7))
+	quiet(t, ctl, warm, 1)
+	hammer(t, ctl, warm, rng, 64)
+
+	st := ctl.Stats().Recovery
+	if st.StormBypasses == 0 {
+		t.Fatal("storm bypass never fired")
+	}
+	if ctl.IsMapped(warm) {
+		t.Fatal("afflicted block still mapped after bypass (no fallback region fits it)")
+	}
+	if st.Demotions == 0 {
+		t.Error("bypass demotion not counted")
+	}
+	// The demoted block now routes to the cache path.
+	if _, err := ctl.Access(warm, 0, 4, false); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("access after bypass: %v, want ErrNotMapped", err)
+	}
+	checkSpaceInvariant(t, ctl, 1)
+}
+
+func TestApplyStrikeDelta(t *testing.T) {
+	s, err := New(0,
+		RegionConfig{Kind: RegionSTT, SizeBytes: 64},
+		RegionConfig{Kind: RegionECC, SizeBytes: 64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stt, ecc := s.Regions()[0], s.Regions()[1]
+	if err := ecc.ApplyStrikeDelta(99, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range delta: %v", err)
+	}
+	if _, err := ecc.Write(0, []uint32{0xdeadbeef}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ecc.ApplyStrikeDelta(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, oc, err := ecc.ReadChecked(0, 1); err != nil || oc.Corrected != 0 || len(oc.Detected) != 0 {
+		t.Fatalf("zero delta corrupted the word: oc=%+v err=%v", oc, err)
+	}
+	if err := ecc.ApplyStrikeDelta(0, 1<<3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, oc, err := ecc.ReadChecked(0, 1); err != nil || oc.Corrected != 1 {
+		t.Fatalf("single-bit delta not corrected: oc=%+v err=%v", oc, err)
+	}
+	// Immune regions absorb deltas without touching the cells.
+	if _, err := stt.Write(0, []uint32{0x1234}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stt.ApplyStrikeDelta(0, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := stt.Read(0, 1); err != nil || v[0] != 0x1234 {
+		t.Fatalf("immune region took a delta: %#x err=%v", v, err)
+	}
+}
+
+func TestSetWearScaleThermalRamp(t *testing.T) {
+	s, err := New(0, RegionConfig{Kind: RegionECC, SizeBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Regions()[0]
+	// Without wear, SetWearScale is a no-op.
+	r.SetWearScale(5)
+	if err := r.EnableWear(WearConfig{WriteFailProb: 0.4, MaxWriteRetries: 2}, 11); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scale 2.5 clamps the failure probability to 1: every write
+	// deterministically burns the full retry budget and leaves one
+	// unswitched cell.
+	r.SetWearScale(2.5)
+	vals := []uint32{1, 2, 3, 4}
+	_, oc, err := r.WriteChecked(0, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc.Retries != 2*len(vals) || len(oc.Failed) != len(vals) {
+		t.Fatalf("p=1 write: retries=%d failed=%d, want %d/%d",
+			oc.Retries, len(oc.Failed), 2*len(vals), len(vals))
+	}
+
+	// Cooling back to scale 0 kills the transient failures entirely.
+	r.SetWearScale(0)
+	if _, oc, err = r.WriteChecked(0, vals); err != nil {
+		t.Fatal(err)
+	}
+	if oc.Retries != 0 || len(oc.Failed) != 0 {
+		t.Fatalf("p=0 write still failed: %+v", oc)
+	}
+	// Negative scales are rejected (the ramp never goes below cool).
+	r.SetWearScale(-1)
+	if _, oc, err = r.WriteChecked(0, vals); err != nil || oc.Retries != 0 {
+		t.Fatalf("negative scale applied: %+v err=%v", oc, err)
+	}
+}

@@ -154,6 +154,18 @@ type Controller struct {
 	faultCounts []int // dense BlockID → permanent-fault evidence
 	sinceScrub  uint64
 
+	// Adaptive storm defenses (RecoveryConfig.Adaptive): detection
+	// events are tallied over tumbling windows and drive a scrub
+	// escalation machine with hysteresis (recovery.go). adaptive is
+	// nil when the defenses are disarmed — one nil check per access.
+	adaptive        *AdaptiveConfig
+	escalated       bool
+	windowAccesses  uint64
+	windowErrors    uint64
+	stateWindows    int      // windows spent in the current state
+	windowRegionErr []uint32 // dense region index → events this window
+	windowBlockErr  []uint32 // dense BlockID → events this window
+
 	// rec, when non-nil, observes every codeword-level operation so the
 	// packed soak engine can replay this controller's trajectory
 	// (recorder.go). One nil check per operation when detached.
@@ -221,6 +233,12 @@ func (c *Controller) EnableRecovery(rc RecoveryConfig) error {
 	}
 	c.recovery = rc
 	c.recoveryOn = true
+	if rc.Adaptive != nil {
+		a := *rc.Adaptive
+		c.adaptive = &a
+		c.windowRegionErr = make([]uint32, len(c.regions))
+		c.windowBlockErr = make([]uint32, len(c.resident))
+	}
 	return nil
 }
 
@@ -289,9 +307,32 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 	}
 	c.tick++
 	var recCycles memtech.Cycles
+	if c.adaptive != nil {
+		if c.windowAccesses >= c.adaptive.WindowAccesses {
+			cyc, err := c.adaptiveWindowTick()
+			if err != nil {
+				return Cost{}, err
+			}
+			recCycles += cyc
+			// The tick's storm bypass may have remapped — or demoted —
+			// the very block being served; refresh the routing.
+			if kind = c.mappedKind(id); kind == 0 {
+				c.stats.Recovery.RecoveryCycles += recCycles
+				return Cost{}, ErrNotMapped
+			}
+		}
+		c.windowAccesses++
+		if c.escalated {
+			c.stats.Recovery.EscalatedAccesses++
+		}
+	}
 	if c.recoveryOn && c.recovery.ScrubInterval > 0 {
+		interval := c.recovery.ScrubInterval
+		if c.escalated {
+			interval = c.adaptive.EscalatedScrubInterval
+		}
 		c.sinceScrub++
-		if c.sinceScrub >= c.recovery.ScrubInterval {
+		if c.sinceScrub >= interval {
 			c.sinceScrub = 0
 			cyc, err := c.runScrub()
 			if err != nil {
@@ -355,6 +396,9 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 		c.perKind[kind].Writes++
 		if err == nil {
 			c.noteWriteFaults(id, oc)
+			if c.adaptive != nil && (oc.Retries > 0 || len(oc.Failed) > 0) {
+				c.noteStormEvidence(res.region, id, uint32(oc.Retries+len(oc.Failed)))
+			}
 		}
 	} else {
 		if c.rec != nil {
@@ -365,6 +409,9 @@ func (c *Controller) Access(id program.BlockID, offset, size int, write bool) (C
 		c.perKind[kind].Reads++
 		if err == nil {
 			c.stats.Recovery.CorrectedOnAccess += uint64(oc.Corrected)
+			if c.adaptive != nil && (oc.Corrected > 0 || len(oc.Detected) > 0) {
+				c.noteStormEvidence(res.region, id, uint32(oc.Corrected+len(oc.Detected)))
+			}
 			for _, w := range oc.Detected {
 				cyc, derr := c.recoverDUE(r, res, b.Addr, w)
 				if derr != nil {
@@ -405,6 +452,113 @@ func (c *Controller) noteWriteFaults(id program.BlockID, oc WriteOutcome) {
 		c.stats.Recovery.StuckWordEvents += uint64(len(oc.Failed))
 		c.faultCounts[id] += len(oc.Failed)
 	}
+}
+
+// noteStormEvidence tallies detection events (ECC corrections,
+// detected DUEs, write-verify faults) into the adaptive window,
+// attributed to the region and block they surfaced in. Only called
+// with c.adaptive armed.
+func (c *Controller) noteStormEvidence(regionIdx int, id program.BlockID, n uint32) {
+	c.windowErrors += uint64(n)
+	c.windowRegionErr[regionIdx] += n
+	if id >= 0 && int(id) < len(c.windowBlockErr) {
+		c.windowBlockErr[id] += n
+	}
+}
+
+// adaptiveWindowTick closes one adaptive window: it evaluates the
+// detection rate against the escalation thresholds (recovery.go state
+// machine), fires the escalation responses (emergency refresh, storm
+// bypass), and opens the next window. Response cycles are returned so
+// the triggering access is charged like any other recovery action.
+func (c *Controller) adaptiveWindowTick() (memtech.Cycles, error) {
+	a := c.adaptive
+	rate := float64(c.windowErrors) / float64(c.windowAccesses)
+	if rate > c.stats.Recovery.PeakWindowErrorRate {
+		c.stats.Recovery.PeakWindowErrorRate = rate
+	}
+	c.stateWindows++
+	var cycles memtech.Cycles
+	switch {
+	case !c.escalated && rate >= a.EscalateRate:
+		c.escalated = true
+		c.stateWindows = 0
+		c.stats.Recovery.ScrubEscalations++
+		if a.EmergencyRefresh {
+			cyc, err := c.emergencyRefresh()
+			if err != nil {
+				return 0, err
+			}
+			cycles += cyc
+		}
+	case c.escalated && rate <= a.DeescalateRate && c.stateWindows >= a.MinDwellWindows:
+		c.escalated = false
+		c.stateWindows = 0
+		c.stats.Recovery.ScrubDeescalations++
+	}
+	if c.escalated && a.BypassRate > 0 && rate >= a.BypassRate {
+		if id, ok := c.mostAfflictedBlock(); ok {
+			cyc, err := c.degrade(id)
+			if err != nil {
+				return 0, err
+			}
+			cycles += cyc
+			c.stats.Recovery.StormBypasses++
+		}
+	}
+	c.windowAccesses, c.windowErrors = 0, 0
+	clear(c.windowRegionErr)
+	clear(c.windowBlockErr)
+	return cycles, nil
+}
+
+// mostAfflictedBlock returns the resident block with the most
+// detection events this window (lowest BlockID on ties).
+func (c *Controller) mostAfflictedBlock() (program.BlockID, bool) {
+	best, bestErrs := program.BlockID(0), uint32(0)
+	for i, n := range c.windowBlockErr {
+		if n > bestErrs && c.resident[i].live {
+			best, bestErrs = program.BlockID(i), n
+		}
+	}
+	return best, bestErrs > 0
+}
+
+// emergencyRefresh re-fetches every clean resident block in the
+// regions that saw detection events this window, flushing latent
+// corruption the storm has deposited before further strikes can
+// accumulate past the code's correction capability. Each block is one
+// DRAM burst plus a checked region rewrite, charged to the caller.
+// Dirty blocks are left to the DUE policy (their only up-to-date copy
+// is on-chip), as are immune/unprotected regions (no detection events
+// ever attribute to them).
+func (c *Controller) emergencyRefresh() (memtech.Cycles, error) {
+	if c.rec != nil {
+		c.rec.RecordUnsupported("emergency refresh")
+	}
+	var cycles memtech.Cycles
+	for i := range c.resident {
+		res := &c.resident[i]
+		if !res.live || res.dirty || c.windowRegionErr[res.region] == 0 {
+			continue
+		}
+		r := c.regions[res.region]
+		b := &c.blocks[i]
+		dramCycles, _ := c.mem.Burst(res.words, false)
+		values := c.values(res.words)
+		for k := range values {
+			values[k] = dram.Value(b.Addr/memtech.WordBytes + uint32(k))
+		}
+		writeCycles, oc, err := r.WriteChecked(res.baseWord, values)
+		if err != nil {
+			return 0, err
+		}
+		cycles += maxCycles(dramCycles, writeCycles)
+		c.stats.Recovery.EmergencyRefreshBlocks++
+		c.stats.Recovery.EmergencyRefreshWords += uint64(res.words)
+		c.noteWriteFaults(program.BlockID(i), oc)
+	}
+	return cycles, nil
 }
 
 // MapIn executes a scheduled map-in command (the paper's SMI): the

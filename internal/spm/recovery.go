@@ -72,6 +72,92 @@ type RecoveryConfig struct {
 	// on one resident block before the controller migrates it out of
 	// its failing region (0 disables graceful degradation).
 	RemapThreshold int
+	// Adaptive, when non-nil, arms the storm defenses: windowed
+	// detected-error-rate tracking with scrub escalation/hysteresis,
+	// emergency re-fetch of clean residents in storming regions, and
+	// error-rate-triggered demotion down the degradation ladder. The
+	// field is omitted from JSON when nil so non-adaptive configs
+	// hash and serialize exactly as before.
+	Adaptive *AdaptiveConfig `json:",omitempty"`
+}
+
+// AdaptiveConfig parameterizes the adaptive storm defenses. The
+// controller tracks detection events (on-access corrections, detected
+// DUEs, and write-verify faults) over tumbling windows of
+// WindowAccesses accesses; the per-window rate drives a two-state
+// escalation machine with hysteresis:
+//
+//	calm      --rate >= EscalateRate--------------------> escalated
+//	escalated --rate <= DeescalateRate for MinDwell win--> calm
+//
+// While escalated, background scrubbing runs every
+// EscalatedScrubInterval accesses instead of ScrubInterval, and each
+// further window whose rate reaches BypassRate demotes the
+// most-afflicted resident block via the graceful-degradation ladder.
+// On escalation, EmergencyRefresh re-fetches every clean resident
+// block in the regions that saw detection events — flushing latent
+// corruption before it accumulates past the code's correction
+// capability. All responses are charged cycles/energy like any other
+// recovery action.
+type AdaptiveConfig struct {
+	// WindowAccesses is the tumbling evaluation window length, in
+	// controller accesses.
+	WindowAccesses uint64
+	// EscalateRate is the detection-events-per-access threshold at or
+	// above which the controller escalates.
+	EscalateRate float64
+	// DeescalateRate is the rate at or below which an escalated
+	// controller relaxes (hysteresis: must not exceed EscalateRate).
+	DeescalateRate float64
+	// EscalatedScrubInterval replaces ScrubInterval while escalated.
+	EscalatedScrubInterval uint64
+	// MinDwellWindows is how many consecutive windows the escalated
+	// state must persist before de-escalation is considered, damping
+	// oscillation at the threshold.
+	MinDwellWindows int
+	// EmergencyRefresh re-fetches clean resident blocks in storming
+	// regions on every escalation.
+	EmergencyRefresh bool
+	// BypassRate is the window error rate at or above which an
+	// escalated controller demotes the most-afflicted resident block
+	// (0 disables storm bypass).
+	BypassRate float64
+}
+
+// DefaultAdaptive returns the storm-soak defaults: 512-access
+// windows, escalate at 2% detection rate, relax below 0.5% after two
+// windows, 16× faster scrubbing while escalated, emergency refresh
+// on, and bypass at 20%.
+func DefaultAdaptive() AdaptiveConfig {
+	return AdaptiveConfig{
+		WindowAccesses:         512,
+		EscalateRate:           0.02,
+		DeescalateRate:         0.005,
+		EscalatedScrubInterval: 256,
+		MinDwellWindows:        2,
+		EmergencyRefresh:       true,
+		BypassRate:             0.2,
+	}
+}
+
+// Validate checks the configuration.
+func (c AdaptiveConfig) Validate() error {
+	switch {
+	case c.WindowAccesses == 0:
+		return fmt.Errorf("%w: adaptive window must be nonzero", ErrBadRecoveryConfig)
+	case c.EscalateRate <= 0:
+		return fmt.Errorf("%w: EscalateRate %v must be positive", ErrBadRecoveryConfig, c.EscalateRate)
+	case c.DeescalateRate < 0 || c.DeescalateRate > c.EscalateRate:
+		return fmt.Errorf("%w: DeescalateRate %v outside [0, EscalateRate]", ErrBadRecoveryConfig, c.DeescalateRate)
+	case c.EscalatedScrubInterval == 0:
+		return fmt.Errorf("%w: EscalatedScrubInterval must be nonzero", ErrBadRecoveryConfig)
+	case c.MinDwellWindows < 0:
+		return fmt.Errorf("%w: MinDwellWindows %d", ErrBadRecoveryConfig, c.MinDwellWindows)
+	case c.BypassRate < 0:
+		return fmt.Errorf("%w: BypassRate %v", ErrBadRecoveryConfig, c.BypassRate)
+	default:
+		return nil
+	}
 }
 
 // DefaultRecovery returns the settings used by the soak campaigns:
@@ -106,6 +192,14 @@ func (c RecoveryConfig) Validate() error {
 	}
 	if c.RemapThreshold < 0 {
 		return fmt.Errorf("%w: RemapThreshold %d", ErrBadRecoveryConfig, c.RemapThreshold)
+	}
+	if c.Adaptive != nil {
+		if err := c.Adaptive.Validate(); err != nil {
+			return err
+		}
+		if c.ScrubInterval == 0 {
+			return fmt.Errorf("%w: adaptive scrub escalation needs a base ScrubInterval", ErrBadRecoveryConfig)
+		}
 	}
 	return nil
 }
@@ -169,6 +263,30 @@ type RecoveryStats struct {
 	// per Access/MapIn, so this is the paper-style time-to-degraded in
 	// access counts.
 	FirstDegradedTick uint64
+
+	// Adaptive storm-defense activity (RecoveryConfig.Adaptive). All
+	// fields are omitted from JSON when zero so non-storm reports and
+	// their goldens stay byte-identical.
+
+	// ScrubEscalations counts calm→escalated transitions of the
+	// adaptive scrub governor.
+	ScrubEscalations uint64 `json:",omitempty"`
+	// ScrubDeescalations counts escalated→calm transitions.
+	ScrubDeescalations uint64 `json:",omitempty"`
+	// EscalatedAccesses counts controller accesses served while
+	// escalated — the time spent in escalated scrub.
+	EscalatedAccesses uint64 `json:",omitempty"`
+	// EmergencyRefreshBlocks counts clean resident blocks re-fetched
+	// whole by the escalation response.
+	EmergencyRefreshBlocks uint64 `json:",omitempty"`
+	// EmergencyRefreshWords counts the words those refreshes rewrote.
+	EmergencyRefreshWords uint64 `json:",omitempty"`
+	// StormBypasses counts blocks pushed down the degradation ladder
+	// by the bypass trigger.
+	StormBypasses uint64 `json:",omitempty"`
+	// PeakWindowErrorRate is the highest detection rate observed in
+	// any adaptive window (merged by max, not sum).
+	PeakWindowErrorRate float64 `json:",omitempty"`
 }
 
 // Recovered returns the total error events the subsystem repaired.
@@ -203,6 +321,15 @@ func (s *RecoveryStats) Add(o RecoveryStats) {
 	s.Demotions += o.Demotions
 	s.RetiredWords += o.RetiredWords
 	s.RecoveryCycles += o.RecoveryCycles
+	s.ScrubEscalations += o.ScrubEscalations
+	s.ScrubDeescalations += o.ScrubDeescalations
+	s.EscalatedAccesses += o.EscalatedAccesses
+	s.EmergencyRefreshBlocks += o.EmergencyRefreshBlocks
+	s.EmergencyRefreshWords += o.EmergencyRefreshWords
+	s.StormBypasses += o.StormBypasses
+	if o.PeakWindowErrorRate > s.PeakWindowErrorRate {
+		s.PeakWindowErrorRate = o.PeakWindowErrorRate
+	}
 	if s.FirstDegradedTick == 0 ||
 		(o.FirstDegradedTick != 0 && o.FirstDegradedTick < s.FirstDegradedTick) {
 		s.FirstDegradedTick = o.FirstDegradedTick

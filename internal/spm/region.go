@@ -184,6 +184,20 @@ type Region struct {
 type wearModel struct {
 	cfg WearConfig
 	rng *rand.Rand
+	// scale multiplies the transient write-failure probability; the
+	// storm thermal ramp (faults.StormProcess.WearScale) drives it
+	// between 1 and the configured ThermalFactor.
+	scale float64
+}
+
+// writeFailProb returns the thermally scaled transient failure
+// probability, clamped to 1.
+func (m *wearModel) writeFailProb() float64 {
+	p := m.cfg.WriteFailProb * m.scale
+	if p > 1 {
+		p = 1
+	}
+	return p
 }
 
 // NewRegion builds a region of the given kind and byte size.
@@ -361,8 +375,9 @@ func (r *Region) WriteChecked(wordIdx int, values []uint32) (memtech.Cycles, Wri
 		}
 		stored := enc
 		if r.wear != nil && r.wear.cfg.WriteFailProb > 0 {
+			failProb := r.wear.writeFailProb()
 			retries := 0
-			for r.wear.rng.Float64() < r.wear.cfg.WriteFailProb {
+			for r.wear.rng.Float64() < failProb {
 				if retries >= r.wear.cfg.MaxWriteRetries {
 					// Retry budget exhausted: one cell is left
 					// unswitched for this write.
@@ -427,7 +442,31 @@ func (r *Region) EnableWear(cfg WearConfig, seed int64) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	r.wear = &wearModel{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	r.wear = &wearModel{cfg: cfg, rng: rand.New(rand.NewSource(seed)), scale: 1}
+	return nil
+}
+
+// SetWearScale sets the thermal multiplier on the wear model's
+// transient write-failure probability (no-op without a wear model).
+// The storm process drives it between 1 and ThermalFactor.
+func (r *Region) SetWearScale(scale float64) {
+	if r.wear != nil && scale >= 0 {
+		r.wear.scale = scale
+	}
+}
+
+// ApplyStrikeDelta XORs a precomputed strike cluster into the stored
+// codeword — the apply half of faults.PlannedStrike / StormEvent,
+// where bit i of delta flips code bit i. Immune regions absorb the
+// event; a zero delta is a no-op.
+func (r *Region) ApplyStrikeDelta(wordIdx int, delta uint64) error {
+	if wordIdx < 0 || wordIdx >= len(r.words) {
+		return fmt.Errorf("%w: word %d of %d", ErrOutOfRange, wordIdx, len(r.words))
+	}
+	if delta == 0 || r.kind.Immune() {
+		return nil
+	}
+	r.words[wordIdx] = r.words[wordIdx].Xor(ecc.BitsFromUint64(delta))
 	return nil
 }
 

@@ -124,6 +124,14 @@ func (s *SPM) EnableWear(cfg WearConfig) error {
 	return nil
 }
 
+// SetWearScale forwards the storm thermal multiplier to every region
+// carrying a wear model (regions without one ignore it).
+func (s *SPM) SetWearScale(scale float64) {
+	for _, r := range s.regions {
+		r.SetWearScale(scale)
+	}
+}
+
 // StoredBits returns the total stored code bits over all regions — the
 // particle-catching surface used to weight strike targeting.
 func (s *SPM) StoredBits() int {

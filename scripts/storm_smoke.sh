@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# storm_smoke.sh — correlated-storm smoke test for the soak campaign
+# runner.
+#
+# Runs a small storm soak with the adaptive defenses armed twice — once
+# straight through, once SIGTERMed mid-campaign and resumed — and the
+# two JSON reports must be byte-identical. Storm campaigns always run
+# the scalar simulator (the packed engine declines them), so this also
+# exercises the fallback path end to end at the process level.
+set -u
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+# A real binary, not `go run`: the SIGTERM must reach the soak process
+# itself, not the go tool wrapping it.
+go build -o "$DIR/ftspm-soak" ./cmd/ftspm-soak || exit 1
+SOAK="$DIR/ftspm-soak"
+
+# A violent storm so the adaptive machinery actually engages, big
+# enough that the SIGTERM lands mid-campaign, small enough for CI.
+ARGS=(-structures ftspm,sram -trials 6 -scale 0.05 -seed 17 -parallel 2
+  -storm -storm-intensity 0.25 -storm-calm-dwell 1000 -storm-dwell 300
+  -target both -adaptive)
+
+echo "== golden (uninterrupted) storm run"
+$SOAK "${ARGS[@]}" -json "$DIR/golden.json" >"$DIR/golden.log" || {
+  echo "golden storm run failed"; cat "$DIR/golden.log"; exit 1; }
+grep -q "storm" "$DIR/golden.log" || {
+  echo "banner does not mention the storm"; cat "$DIR/golden.log"; exit 1; }
+
+echo "== interrupted storm run (SIGTERM once the checkpoint appears)"
+$SOAK "${ARGS[@]}" -checkpoint "$DIR/storm.ckpt" -json "$DIR/interrupted.json" \
+  >"$DIR/interrupted.log" 2>&1 &
+PID=$!
+# Wait for the journal to hold at least one finished trial (header + 1
+# record), then interrupt.
+for _ in $(seq 1 200); do
+  [ -f "$DIR/storm.ckpt" ] && [ "$(wc -l <"$DIR/storm.ckpt")" -ge 2 ] && break
+  sleep 0.05
+done
+kill -TERM "$PID" 2>/dev/null
+wait "$PID"
+STATUS=$?
+# 3 = drained and salvaged (the expected case); 0 = the campaign beat
+# the signal, which still leaves a complete journal for the resume leg.
+if [ "$STATUS" != 3 ] && [ "$STATUS" != 0 ]; then
+  echo "interrupted run exited $STATUS (want 3, or 0 if it finished first)"
+  cat "$DIR/interrupted.log"
+  exit 1
+fi
+echo "   interrupted run exited $STATUS"
+
+echo "== resumed storm run"
+$SOAK "${ARGS[@]}" -checkpoint "$DIR/storm.ckpt" -resume -json "$DIR/resumed.json" \
+  >"$DIR/resumed.log" || { echo "resume failed"; cat "$DIR/resumed.log"; exit 1; }
+grep -q "resumed" "$DIR/resumed.log" || {
+  echo "resume log does not mention resumed trials"; cat "$DIR/resumed.log"; exit 1; }
+
+echo "== diff resumed vs golden"
+if ! cmp -s "$DIR/golden.json" "$DIR/resumed.json"; then
+  echo "resumed storm report is NOT byte-identical to the golden run:"
+  diff "$DIR/golden.json" "$DIR/resumed.json" | head -50
+  exit 1
+fi
+
+echo "== a storm checkpoint must not resume a non-storm campaign"
+$SOAK -structures ftspm,sram -trials 6 -scale 0.05 -seed 17 -parallel 2 \
+  -checkpoint "$DIR/storm.ckpt" -resume -json "$DIR/mismatch.json" \
+  >"$DIR/mismatch.log" 2>&1
+if [ $? -eq 0 ]; then
+  echo "non-storm campaign resumed from a storm checkpoint"; cat "$DIR/mismatch.log"; exit 1
+fi
+
+echo "storm smoke OK (byte-identical after interrupt + resume)"

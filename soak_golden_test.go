@@ -15,6 +15,7 @@ import (
 
 	"ftspm/internal/core"
 	"ftspm/internal/experiments"
+	"ftspm/internal/faults"
 	"ftspm/internal/spm"
 )
 
@@ -32,10 +33,34 @@ var goldenSoakStructures = []core.Structure{
 	core.StructFTSPM, core.StructPureSRAM, core.StructPureSTT,
 }
 
-func runGoldenSoak(t *testing.T, lanes int) [][]byte {
+// goldenStormOptions mirrors BENCH_soak.json's recorded storm command:
+// go run ./cmd/ftspm-soak -trials 4 -scale 0.05 -seed 1 -storm -adaptive.
+// The flag defaults resolve to the default storm with the adaptive
+// defenses armed.
+func goldenStormOptions(lanes int) experiments.SoakOptions {
+	rec := spm.DefaultRecovery()
+	ad := spm.DefaultAdaptive()
+	rec.Adaptive = &ad
+	return experiments.SoakOptions{
+		Trials: 4, Scale: 0.05, StrikesPerAccess: 0.01, Seed: 1,
+		Recovery: &rec, Lanes: lanes,
+		Storm: &faults.StormConfig{
+			CalmStrikesPerAccess:  0.001,
+			StormStrikesPerAccess: 0.2,
+			MeanCalmAccesses:      4000,
+			MeanStormAccesses:     400,
+			SpatialSpan:           2,
+			ThermalFactor:         1,
+			HotBlocks:             4,
+		},
+	}
+}
+
+func runGoldenSoak(t *testing.T, opts experiments.SoakOptions, lanes int) [][]byte {
 	t.Helper()
+	opts.Lanes = lanes
 	reports, status, err := experiments.RunSoakCampaign(
-		context.Background(), goldenSoakOptions(lanes), goldenSoakStructures,
+		context.Background(), opts, goldenSoakStructures,
 		experiments.CampaignConfig{})
 	if err != nil {
 		t.Fatalf("lanes=%d: %v", lanes, err)
@@ -73,8 +98,8 @@ func TestSoakGoldenBaseline(t *testing.T) {
 		t.Fatalf("BENCH_soak.json has %d reports, want %d", len(golden.Reports), len(goldenSoakStructures))
 	}
 
-	packed := runGoldenSoak(t, 0)
-	scalar := runGoldenSoak(t, 1)
+	packed := runGoldenSoak(t, goldenSoakOptions(0), 0)
+	scalar := runGoldenSoak(t, goldenSoakOptions(1), 1)
 	for i, s := range goldenSoakStructures {
 		var want bytes.Buffer
 		if err := json.Compact(&want, golden.Reports[i]); err != nil {
@@ -87,6 +112,49 @@ func TestSoakGoldenBaseline(t *testing.T) {
 		if !bytes.Equal(packed[i], want.Bytes()) {
 			t.Errorf("%v: packed report drifted from BENCH_soak.json:\ngot:  %s\nwant: %s",
 				s, packed[i], want.Bytes())
+		}
+	}
+}
+
+// TestSoakGoldenStormBaseline seals the correlated-storm campaign the
+// same way: the committed storm_reports must reproduce bit for bit,
+// and the auto-lane path (which falls back to the scalar simulator
+// because the packed engine declines storms) must match the forced
+// scalar path exactly.
+func TestSoakGoldenStormBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full golden storm campaign in -short mode")
+	}
+	raw, err := os.ReadFile("BENCH_soak.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden struct {
+		StormCommand string            `json:"storm_command"`
+		StormReports []json.RawMessage `json:"storm_reports"`
+	}
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if len(golden.StormReports) != len(goldenSoakStructures) {
+		t.Fatalf("BENCH_soak.json has %d storm reports, want %d",
+			len(golden.StormReports), len(goldenSoakStructures))
+	}
+
+	auto := runGoldenSoak(t, goldenStormOptions(0), 0)
+	scalar := runGoldenSoak(t, goldenStormOptions(1), 1)
+	for i, s := range goldenSoakStructures {
+		var want bytes.Buffer
+		if err := json.Compact(&want, golden.StormReports[i]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(auto[i], scalar[i]) {
+			t.Errorf("%v: storm fallback and scalar reports diverge:\nauto:   %s\nscalar: %s",
+				s, auto[i], scalar[i])
+		}
+		if !bytes.Equal(auto[i], want.Bytes()) {
+			t.Errorf("%v: storm report drifted from BENCH_soak.json:\ngot:  %s\nwant: %s",
+				s, auto[i], want.Bytes())
 		}
 	}
 }
